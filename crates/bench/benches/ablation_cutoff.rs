@@ -1,0 +1,65 @@
+//! E8 — the Ocean rescue (§3.3.3 / §5.2): sweep of the overprediction
+//! cut-off threshold on Ocean, whose swinging interval times defeat
+//! last-value prediction. Without the cut-off the exposed exit transitions
+//! and flush costs accumulate into a large slowdown; the paper's 10 %
+//! threshold contains it.
+
+use tb_bench::{banner, bench_nodes, bench_seed};
+use tb_core::{AlgorithmConfig, SystemConfig};
+use tb_machine::run::{run_trace, run_trace_with};
+use tb_workloads::AppSpec;
+
+fn main() {
+    banner("E8 (Ocean cut-off)", "overprediction threshold sweep on Ocean");
+    let nodes = bench_nodes();
+    let app = AppSpec::by_name("Ocean").expect("Ocean is in Table 2");
+    let trace = app.generate(nodes as usize, bench_seed());
+    let base = run_trace(&trace, nodes, SystemConfig::Baseline);
+
+    println!(
+        "{:<22} {:>9} {:>10} {:>10} {:>8} {:>8}",
+        "threshold", "energy", "slowdown", "disables", "sleeps", "spins"
+    );
+    let mut rows: Vec<(String, Option<f64>)> = vec![("none (cut-off off)".into(), None)];
+    for th in [0.02, 0.05, 0.10, 0.20, 0.50] {
+        rows.push((format!("{:.0}% of BIT", th * 100.0), Some(th)));
+    }
+    for (label, threshold) in rows {
+        let cfg = AlgorithmConfig::thrifty().with_overprediction_threshold(threshold);
+        let r = run_trace_with(&trace, nodes, "Thrifty", cfg, None);
+        println!(
+            "{:<22} {:>8.1}% {:>+9.2}% {:>10} {:>8} {:>8}",
+            label,
+            r.energy_normalized_to(&base).total() * 100.0,
+            r.slowdown_vs(&base) * 100.0,
+            r.counts.cutoff_disables,
+            r.counts.total_sleeps(),
+            r.counts.spins,
+        );
+    }
+    // For contrast: a stable application should barely react to the knob.
+    let fmm = AppSpec::by_name("FMM").expect("FMM is in Table 2");
+    let fmm_trace = fmm.generate(nodes as usize, bench_seed());
+    let fmm_base = run_trace(&fmm_trace, nodes, SystemConfig::Baseline);
+    println!("\ncontrol: FMM (stable intervals) under the same sweep");
+    for threshold in [None, Some(0.10)] {
+        let cfg = AlgorithmConfig::thrifty().with_overprediction_threshold(threshold);
+        let r = run_trace_with(&fmm_trace, nodes, "Thrifty", cfg, None);
+        println!(
+            "{:<22} {:>8.1}% {:>+9.2}% {:>10}",
+            match threshold {
+                None => "none (cut-off off)".to_string(),
+                Some(t) => format!("{:.0}% of BIT", t * 100.0),
+            },
+            r.energy_normalized_to(&fmm_base).total() * 100.0,
+            r.slowdown_vs(&fmm_base) * 100.0,
+            r.counts.cutoff_disables,
+        );
+    }
+    println!(
+        "\npaper: Ocean \"could degrade in performance by as much as 12% over Baseline\" \
+         without the\ncut-off; \"our cut-off provision is very effective here, containing \
+         losses in Thrifty\nwithin 3.5% of Baseline\"; \"Ocean ends up spinning quite a \
+         bit at these barriers\""
+    );
+}

@@ -1,0 +1,38 @@
+//! E5 + E7 — Figure 5: normalized energy consumption for the ten SPLASH-2
+//! applications under the five configurations (B, H, O, T, I), broken into
+//! Compute / Spin / Transition / Sleep, normalized to each application's
+//! Baseline; plus the §5.1 headline averages over the target applications.
+
+use tb_bench::{banner, breakdown_row, full_matrix, target_summary};
+
+fn main() {
+    banner(
+        "Figure 5",
+        "normalized energy consumption, 10 apps x {B,H,O,T,I}",
+    );
+    let matrix = full_matrix();
+    for (app, reports) in &matrix {
+        let base = &reports[0];
+        println!(
+            "\n-- {} (baseline imbalance {:.2}%, baseline energy {:.2} J)",
+            app.name,
+            base.barrier_imbalance() * 100.0,
+            base.total_energy()
+        );
+        for r in reports {
+            println!("{}", breakdown_row(&r.config, &r.energy_normalized_to(base)));
+        }
+    }
+    let summary = target_summary(&matrix);
+    println!("\n== §5.1 headline (mean over the five target applications)");
+    for (name, s) in ["Thrifty-Halt", "Oracle-Halt", "Thrifty", "Ideal"]
+        .iter()
+        .zip(summary.savings)
+    {
+        println!("  {name:<13} energy savings {:>5.1}%", s * 100.0);
+    }
+    println!(
+        "  paper: Thrifty ~17%, Thrifty-Halt ~11% \
+         (\"unable to accrue energy savings beyond 11%\")"
+    );
+}

@@ -1,0 +1,73 @@
+//! Criterion micro-benchmarks of the prediction path: the paper argues the
+//! added barrier logic is lightweight (§6 cites Kumar et al.: lightweight
+//! control algorithms in synchronization constructs have little impact).
+//! These benches quantify "lightweight" for our implementation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use tb_core::{
+    AlgorithmConfig, BarrierAlgorithm, BarrierPc, BitPredictor, LastValuePredictor, ThreadId,
+};
+use tb_sim::Cycles;
+
+fn bench_predictor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("predictor");
+    g.bench_function("last_value_predict", |b| {
+        let mut p = LastValuePredictor::with_defaults(64);
+        for i in 0..64u64 {
+            p.update(BarrierPc::new(i), 0, Cycles::from_micros(100 + i));
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 64;
+            black_box(p.predict(BarrierPc::new(i), 1, ThreadId::new((i % 64) as usize)))
+        });
+    });
+    g.bench_function("last_value_update", |b| {
+        let mut p = LastValuePredictor::with_defaults(64);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            black_box(p.update(BarrierPc::new(i % 64), i, Cycles::from_micros(100)))
+        });
+    });
+    g.finish();
+}
+
+fn bench_barrier_algorithm(c: &mut Criterion) {
+    // One full barrier episode of algorithm bookkeeping for 64 threads —
+    // the per-barrier software cost the thrifty barrier adds.
+    c.bench_function("algorithm_episode_64_threads", |b| {
+        let pc = BarrierPc::new(0x1000);
+        b.iter_batched(
+            || {
+                let mut algo = BarrierAlgorithm::new(AlgorithmConfig::thrifty(), 64);
+                // Warm-up instance so predictions exist.
+                for t in 0..63 {
+                    algo.on_early_arrival(ThreadId::new(t), pc, Cycles::from_micros(10));
+                }
+                let rel = algo.on_last_arrival(ThreadId::new(63), pc, Cycles::from_millis(1));
+                for t in 0..64 {
+                    algo.finish_barrier(ThreadId::new(t), pc, rel.release_estimate);
+                }
+                algo
+            },
+            |mut algo| {
+                for t in 0..63 {
+                    black_box(algo.on_early_arrival(
+                        ThreadId::new(t),
+                        pc,
+                        Cycles::from_micros(1100),
+                    ));
+                }
+                let rel = algo.on_last_arrival(ThreadId::new(63), pc, Cycles::from_millis(2));
+                for t in 0..64 {
+                    black_box(algo.finish_barrier(ThreadId::new(t), pc, rel.release_estimate));
+                }
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+criterion_group!(benches, bench_predictor, bench_barrier_algorithm);
+criterion_main!(benches);

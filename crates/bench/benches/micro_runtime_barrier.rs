@@ -1,0 +1,62 @@
+//! R1 — Criterion benchmark of the real-threads barriers: conventional
+//! spin vs thrifty (yield/park) on a balanced fork-join loop. The thrifty
+//! barrier's decision logic must not make the barrier itself meaningfully
+//! slower when everyone spins (balanced case).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use tb_core::{AlgorithmConfig, BarrierPc};
+use tb_runtime::{RuntimeSleepLevels, SpinBarrier, ThriftyRuntimeBarrier};
+
+const THREADS: usize = 4;
+const EPISODES: usize = 64;
+
+fn bench_spin_barrier(c: &mut Criterion) {
+    c.bench_function("spin_barrier_4t_64ep", |b| {
+        b.iter(|| {
+            let barrier = Arc::new(SpinBarrier::new(THREADS));
+            let handles: Vec<_> = (0..THREADS)
+                .map(|_| {
+                    let b = Arc::clone(&barrier);
+                    std::thread::spawn(move || {
+                        for _ in 0..EPISODES {
+                            b.wait();
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+    });
+}
+
+fn bench_thrifty_barrier(c: &mut Criterion) {
+    c.bench_function("thrifty_barrier_4t_64ep", |b| {
+        let pc = BarrierPc::new(0x1);
+        b.iter(|| {
+            let cfg = AlgorithmConfig {
+                sleep_table: RuntimeSleepLevels::table(),
+                ..AlgorithmConfig::thrifty()
+            };
+            let barrier = Arc::new(ThriftyRuntimeBarrier::with_config(THREADS, cfg));
+            let handles: Vec<_> = (0..THREADS)
+                .map(|t| {
+                    let b = Arc::clone(&barrier);
+                    std::thread::spawn(move || {
+                        for _ in 0..EPISODES {
+                            b.wait(t, pc);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+    });
+}
+
+criterion_group!(benches, bench_spin_barrier, bench_thrifty_barrier);
+criterion_main!(benches);

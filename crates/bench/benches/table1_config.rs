@@ -1,0 +1,18 @@
+//! E1 — Table 1: the architecture modeled in the simulations.
+
+use tb_bench::{banner, bench_nodes};
+use tb_energy::PowerModel;
+use tb_mem::MachineConfig;
+
+fn main() {
+    banner("Table 1", "architecture modeled in the simulations");
+    let cfg = MachineConfig::table1_with_nodes(bench_nodes());
+    println!("{cfg}");
+    let power = PowerModel::paper();
+    println!("power model        {power}");
+    println!(
+        "\npaper Table 1: 1GHz 6-issue dynamic CPUs, 16kB/2-way L1 (RT 2ns), \
+         64kB/8-way L2 (RT 12ns),\n64B lines, 250MHz 16B bus, 60ns row miss, \
+         hypercube with 16ns pin-to-pin and 16ns (un)marshaling, 64 nodes"
+    );
+}

@@ -1,0 +1,37 @@
+//! E2 — Table 2: applications and their measured baseline barrier
+//! imbalance on the simulated machine.
+
+use tb_bench::{banner, bench_nodes, bench_seed};
+use tb_core::SystemConfig;
+use tb_machine::run::run_app;
+use tb_workloads::AppSpec;
+
+fn main() {
+    banner(
+        "Table 2",
+        "SPLASH-2 applications, descending baseline barrier imbalance",
+    );
+    println!(
+        "{:<11} {:<36} {:>10} {:>10}",
+        "app", "problem size", "paper", "measured"
+    );
+    println!("{}", "-".repeat(72));
+    for app in AppSpec::splash2() {
+        let r = run_app(&app, bench_nodes(), bench_seed(), SystemConfig::Baseline);
+        println!(
+            "{:<11} {:<36} {:>9.2}% {:>9.2}%",
+            app.name,
+            app.problem_size,
+            app.target_imbalance * 100.0,
+            r.barrier_imbalance() * 100.0,
+        );
+    }
+    println!(
+        "\ntarget applications (imbalance >= 10%): {}",
+        AppSpec::targets()
+            .iter()
+            .map(|a| a.name.as_str())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+}

@@ -1,0 +1,582 @@
+//! The barrier algorithm state machine, shared by the cycle-level machine
+//! (`tb-machine`) and the real-threads runtime (`tb-runtime`).
+//!
+//! [`BarrierAlgorithm`] owns the predictor, per-thread timing state, and
+//! per-site bookkeeping, and exposes the three call points of the paper's
+//! barrier macro:
+//!
+//! 1. [`BarrierAlgorithm::on_early_arrival`] — a thread checked in and the
+//!    count says others are still computing: predict, decide, plan wake-up.
+//! 2. [`BarrierAlgorithm::on_last_arrival`] — the count reached the total:
+//!    measure the true BIT, update the predictor (subject to the §3.4.2
+//!    filter), publish the BIT, and flip the flag.
+//! 3. [`BarrierAlgorithm::finish_barrier`] — a thread is awake *and* the
+//!    barrier is released (in either order): advance its BRTS by the
+//!    published BIT, measure the overprediction penalty, and set the
+//!    §3.3.3 disable bit if it tripped the threshold.
+//!
+//! The executor owns the count, the flag, and all physical effects (memory
+//! traffic, transitions, energy); this type is the paper's "prediction code
+//! + sleep() library" in one object.
+
+use crate::config::{AlgorithmConfig, PredictorChoice};
+use crate::policy::{SleepChoice, SleepPolicy};
+use crate::predictor::{
+    AveragingPredictor, BarrierPc, BitPredictor, ConfidencePredictor, DirectBstPredictor,
+    LastValuePredictor, RecordedBitOracle, UpdateOutcome,
+};
+use crate::timing::ThreadTiming;
+use crate::wakeup::WakeupPlan;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use tb_sim::Cycles;
+
+/// Index of a thread participating in the barrier (0-based, dense).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ThreadId(usize);
+
+impl ThreadId {
+    /// Creates a thread id.
+    pub const fn new(index: usize) -> Self {
+        ThreadId(index)
+    }
+
+    /// The thread's index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+enum PredictorImpl {
+    LastValue(LastValuePredictor),
+    Averaging(AveragingPredictor),
+    DirectBst(DirectBstPredictor),
+    Confidence(ConfidencePredictor),
+    Oracle(RecordedBitOracle),
+}
+
+impl PredictorImpl {
+    fn as_dyn(&self) -> &dyn BitPredictor {
+        match self {
+            PredictorImpl::LastValue(p) => p,
+            PredictorImpl::Averaging(p) => p,
+            PredictorImpl::DirectBst(p) => p,
+            PredictorImpl::Confidence(p) => p,
+            PredictorImpl::Oracle(p) => p,
+        }
+    }
+
+    fn as_dyn_mut(&mut self) -> &mut dyn BitPredictor {
+        match self {
+            PredictorImpl::LastValue(p) => p,
+            PredictorImpl::Averaging(p) => p,
+            PredictorImpl::DirectBst(p) => p,
+            PredictorImpl::Confidence(p) => p,
+            PredictorImpl::Oracle(p) => p,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct SiteState {
+    /// Dynamic instance counter: the index of the *next* instance to
+    /// release at this site. All arrivals of the current instance observe
+    /// the same value.
+    next_instance: u64,
+    /// The published BIT of the most recently released instance — the
+    /// "shared BIT variable" of §3.2.1 (always the *measured* value, even
+    /// when the predictor skipped the update).
+    published_bit: Cycles,
+}
+
+/// What an early-arriving thread was told to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArrivalDecision {
+    /// The per-site dynamic instance index of this barrier episode.
+    pub instance: u64,
+    /// The thread's compute time since the previous release.
+    pub compute_time: Cycles,
+    /// The predicted BIT, if a usable prediction existed.
+    pub predicted_bit: Option<Cycles>,
+    /// The derived predicted stall (BST), if predicted.
+    pub predicted_stall: Option<Cycles>,
+    /// The estimated absolute release time, if predicted.
+    pub estimated_release: Option<Cycles>,
+    /// Spin or sleep (+state).
+    pub choice: SleepChoice,
+    /// Wake-up plan (meaningful only when sleeping).
+    pub wakeup: WakeupPlan,
+}
+
+/// What the last-arriving thread produced when it released the barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReleaseInfo {
+    /// The per-site dynamic instance index just released.
+    pub instance: u64,
+    /// The measured BIT (release-to-release).
+    pub measured_bit: Cycles,
+    /// Whether the predictor accepted the measurement (§3.4.2).
+    pub update: UpdateOutcome,
+    /// The releasing thread's local timestamp of the release — equal to
+    /// every thread's new BRTS after [`BarrierAlgorithm::finish_barrier`].
+    pub release_estimate: Cycles,
+}
+
+/// The outcome of a thread's post-barrier bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FinishInfo {
+    /// The thread's new BRTS (local timestamp of the just-released
+    /// barrier).
+    pub new_brts: Cycles,
+    /// How much later than the release the thread woke (zero if on time or
+    /// early).
+    pub penalty: Cycles,
+    /// Whether the §3.3.3 cut-off fired and disabled future prediction for
+    /// this (thread, site).
+    pub disabled: bool,
+}
+
+/// The thrifty barrier algorithm object (or a conventional barrier when
+/// configured with `thrifty: false`).
+#[derive(Debug)]
+pub struct BarrierAlgorithm {
+    cfg: AlgorithmConfig,
+    predictor: PredictorImpl,
+    policy: SleepPolicy,
+    timings: Vec<ThreadTiming>,
+    arrivals: Vec<Cycles>,
+    sites: HashMap<BarrierPc, SiteState>,
+}
+
+impl BarrierAlgorithm {
+    /// Creates the algorithm for `threads` participants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn new(cfg: AlgorithmConfig, threads: usize) -> Self {
+        assert!(threads > 0, "a barrier needs at least one thread");
+        let predictor = match cfg.predictor {
+            PredictorChoice::LastValue => PredictorImpl::LastValue(LastValuePredictor::new(
+                threads,
+                cfg.underprediction_factor,
+            )),
+            PredictorChoice::Averaging(alpha) => {
+                PredictorImpl::Averaging(AveragingPredictor::new(threads, alpha))
+            }
+            PredictorChoice::DirectBst => PredictorImpl::DirectBst(DirectBstPredictor::new()),
+            PredictorChoice::Confidence(tol) => {
+                PredictorImpl::Confidence(ConfidencePredictor::new(threads, tol))
+            }
+            PredictorChoice::Oracle => PredictorImpl::Oracle(RecordedBitOracle::new()),
+        };
+        let policy = SleepPolicy::new(
+            cfg.sleep_table.clone(),
+            cfg.min_stall_multiple,
+            cfg.overprediction_threshold,
+        );
+        BarrierAlgorithm {
+            predictor,
+            policy,
+            timings: vec![ThreadTiming::new(); threads],
+            arrivals: vec![Cycles::ZERO; threads],
+            sites: HashMap::new(),
+            cfg,
+        }
+    }
+
+    /// The number of participating threads.
+    pub fn threads(&self) -> usize {
+        self.timings.len()
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &AlgorithmConfig {
+        &self.cfg
+    }
+
+    /// The sleep policy (table + thresholds).
+    pub fn policy(&self) -> &SleepPolicy {
+        &self.policy
+    }
+
+    /// A thread's current BRTS (for tests and reports).
+    pub fn brts(&self, thread: ThreadId) -> Cycles {
+        self.timings[thread.index()].brts()
+    }
+
+    /// Installs a recorded oracle trace (Oracle-Halt / Ideal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration does not use the oracle predictor.
+    pub fn install_oracle(&mut self, oracle: RecordedBitOracle) {
+        match &mut self.predictor {
+            PredictorImpl::Oracle(slot) => *slot = oracle,
+            other => panic!("config uses {other:?}, not the oracle predictor"),
+        }
+    }
+
+    /// Call point 1: `thread` checked in at local time `now` and was not
+    /// the last. Returns the sleep/spin decision.
+    pub fn on_early_arrival(
+        &mut self,
+        thread: ThreadId,
+        pc: BarrierPc,
+        now: Cycles,
+    ) -> ArrivalDecision {
+        self.arrivals[thread.index()] = now;
+        let instance = self.site(pc).next_instance;
+        let timing = self.timings[thread.index()];
+        let compute_time = timing.compute_time(now);
+        if !self.cfg.thrifty {
+            return ArrivalDecision {
+                instance,
+                compute_time,
+                predicted_bit: None,
+                predicted_stall: None,
+                estimated_release: None,
+                choice: SleepChoice::Spin,
+                wakeup: WakeupPlan {
+                    external: false,
+                    internal_at: None,
+                },
+            };
+        }
+        let predicted = self.predictor.as_dyn().predict(pc, instance, thread);
+        let estimate = predicted.map(|p| {
+            if matches!(self.cfg.predictor, PredictorChoice::DirectBst) {
+                timing.estimate_direct_stall(now, p)
+            } else {
+                timing.estimate(now, p)
+            }
+        });
+        let choice = self.policy.decide(estimate.map(|e| e.predicted_stall));
+        let wakeup = match choice {
+            SleepChoice::Sleep { state, .. } => {
+                let exit = self.policy.state(state).transition_latency();
+                let est = estimate.expect("sleeping requires an estimate");
+                WakeupPlan::new(
+                    self.cfg.wakeup,
+                    now,
+                    est.estimated_release,
+                    exit,
+                    self.cfg.wakeup_anticipation,
+                )
+            }
+            SleepChoice::Spin => WakeupPlan {
+                external: false,
+                internal_at: None,
+            },
+        };
+        ArrivalDecision {
+            instance,
+            compute_time,
+            predicted_bit: predicted,
+            predicted_stall: estimate.map(|e| e.predicted_stall),
+            estimated_release: estimate.map(|e| e.estimated_release),
+            choice,
+            wakeup,
+        }
+    }
+
+    /// Call point 2: `thread` checked in at local time `now` and the count
+    /// reached the total. Measures and publishes the BIT, updates the
+    /// predictor, and logically flips the flag (the executor performs the
+    /// actual write).
+    pub fn on_last_arrival(&mut self, thread: ThreadId, pc: BarrierPc, now: Cycles) -> ReleaseInfo {
+        self.arrivals[thread.index()] = now;
+        let measured_bit = self.timings[thread.index()].measure_bit(now);
+        let site = self.site(pc);
+        let instance = site.next_instance;
+        site.next_instance += 1;
+        site.published_bit = measured_bit;
+        let update = if self.cfg.thrifty {
+            self.predictor.as_dyn_mut().update(pc, instance, measured_bit)
+        } else {
+            UpdateOutcome::Applied
+        };
+        ReleaseInfo {
+            instance,
+            measured_bit,
+            update,
+            release_estimate: now,
+        }
+    }
+
+    /// Call point 3: `thread` is awake and past the residual spin for the
+    /// barrier at `pc`; `wakeup_timestamp` is when it came back up (for a
+    /// spinner, the time it observed the flipped flag).
+    ///
+    /// Advances the thread's BRTS by the published BIT, evaluates the
+    /// §3.3.3 cut-off, and feeds the direct-BST predictor when configured.
+    pub fn finish_barrier(
+        &mut self,
+        thread: ThreadId,
+        pc: BarrierPc,
+        wakeup_timestamp: Cycles,
+    ) -> FinishInfo {
+        let published = self
+            .sites
+            .get(&pc)
+            .expect("finish_barrier before any release at this site")
+            .published_bit;
+        let timing = &mut self.timings[thread.index()];
+        let new_brts = timing.advance(published);
+        let penalty = timing.overprediction_penalty(wakeup_timestamp);
+        let mut disabled = false;
+        if self.cfg.thrifty {
+            if self.policy.penalty_trips_cutoff(penalty, published) {
+                self.predictor.as_dyn_mut().disable(pc, thread);
+                disabled = true;
+            }
+            let actual_stall = new_brts.saturating_sub(self.arrivals[thread.index()]);
+            self.predictor.as_dyn_mut().update_bst(pc, thread, actual_stall);
+        }
+        FinishInfo {
+            new_brts,
+            penalty,
+            disabled,
+        }
+    }
+
+    /// Whether prediction is currently disabled for `(thread, pc)`.
+    pub fn is_disabled(&self, pc: BarrierPc, thread: ThreadId) -> bool {
+        self.predictor.as_dyn().is_disabled(pc, thread)
+    }
+
+    fn site(&mut self, pc: BarrierPc) -> &mut SiteState {
+        self.sites.entry(pc).or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wakeup::WakeupMode;
+
+    const PC: BarrierPc = BarrierPc::new(0x42);
+
+    fn t(i: usize) -> ThreadId {
+        ThreadId::new(i)
+    }
+
+    fn us(v: u64) -> Cycles {
+        Cycles::from_micros(v)
+    }
+
+    /// Runs one full barrier episode for a 2-thread algorithm where thread
+    /// 0 arrives at `t0` and thread 1 (the releaser) at `t1`, waking both
+    /// at the release. Returns thread 0's decision.
+    fn episode(algo: &mut BarrierAlgorithm, t0: Cycles, t1: Cycles) -> ArrivalDecision {
+        let d = algo.on_early_arrival(t(0), PC, t0);
+        let rel = algo.on_last_arrival(t(1), PC, t1);
+        algo.finish_barrier(t(0), PC, rel.release_estimate);
+        algo.finish_barrier(t(1), PC, rel.release_estimate);
+        d
+    }
+
+    #[test]
+    fn baseline_always_spins() {
+        let mut algo = BarrierAlgorithm::new(AlgorithmConfig::baseline(), 2);
+        for i in 1..5u64 {
+            let d = episode(&mut algo, us(100 * i), us(100 * i + 50));
+            assert!(d.choice.is_spin());
+            assert_eq!(d.predicted_bit, None);
+        }
+    }
+
+    #[test]
+    fn warmup_instance_spins_then_prediction_kicks_in() {
+        let mut algo = BarrierAlgorithm::new(AlgorithmConfig::thrifty(), 2);
+        // Instance 0: no history.
+        let d0 = episode(&mut algo, us(100), us(1000));
+        assert!(d0.choice.is_spin(), "warm-up spins");
+        // Instance 1: history says BIT = 1000µs; thread 0 computes 100µs,
+        // so predicted stall = 900µs -> deep sleep.
+        let d1 = episode(&mut algo, us(1100), us(2000));
+        assert_eq!(d1.predicted_bit, Some(us(1000)));
+        assert_eq!(d1.predicted_stall, Some(us(900)));
+        assert!(d1.choice.is_sleep());
+    }
+
+    #[test]
+    fn bit_and_brts_induction_across_instances() {
+        let mut algo = BarrierAlgorithm::new(AlgorithmConfig::thrifty(), 2);
+        let rel1 = {
+            algo.on_early_arrival(t(0), PC, us(10));
+            algo.on_last_arrival(t(1), PC, us(100))
+        };
+        assert_eq!(rel1.measured_bit, us(100));
+        assert_eq!(rel1.instance, 0);
+        let f0 = algo.finish_barrier(t(0), PC, us(100));
+        algo.finish_barrier(t(1), PC, us(100));
+        assert_eq!(f0.new_brts, us(100));
+        assert_eq!(algo.brts(t(0)), algo.brts(t(1)));
+
+        algo.on_early_arrival(t(0), PC, us(150));
+        let rel2 = algo.on_last_arrival(t(1), PC, us(260));
+        assert_eq!(rel2.measured_bit, us(160), "BIT measured from previous release");
+        assert_eq!(rel2.instance, 1);
+    }
+
+    #[test]
+    fn estimated_release_matches_brts_plus_bit() {
+        let mut algo = BarrierAlgorithm::new(AlgorithmConfig::thrifty(), 2);
+        episode(&mut algo, us(100), us(1000)); // publishes BIT=1000µs, BRTS=1000µs
+        let d = algo.on_early_arrival(t(0), PC, us(1400));
+        assert_eq!(d.estimated_release, Some(us(2000)));
+        assert_eq!(d.compute_time, us(400));
+    }
+
+    #[test]
+    fn short_predicted_stall_spins() {
+        let mut algo = BarrierAlgorithm::new(AlgorithmConfig::thrifty(), 2);
+        episode(&mut algo, us(10), us(30)); // BIT = 30µs
+        // Next instance: predicted stall ~ (30µs - compute) < Halt's 40µs
+        // profitability bound -> spin.
+        let d = algo.on_early_arrival(t(0), PC, us(40));
+        assert_eq!(d.predicted_stall, Some(us(20)));
+        assert!(d.choice.is_spin());
+    }
+
+    #[test]
+    fn hybrid_wakeup_plan_targets_release_minus_exit() {
+        let mut algo = BarrierAlgorithm::new(AlgorithmConfig::thrifty(), 2);
+        episode(&mut algo, us(100), us(1000));
+        let d = algo.on_early_arrival(t(0), PC, us(1100));
+        let state = d.choice.state().expect("sleeps");
+        let exit = algo.policy().state(state).transition_latency();
+        assert!(d.wakeup.external);
+        let anticipation = algo.config().wakeup_anticipation;
+        assert_eq!(d.wakeup.internal_at, Some(us(2000) - exit - anticipation));
+    }
+
+    #[test]
+    fn external_only_mode_has_no_timer() {
+        let cfg = AlgorithmConfig::thrifty().with_wakeup(WakeupMode::ExternalOnly);
+        let mut algo = BarrierAlgorithm::new(cfg, 2);
+        episode(&mut algo, us(100), us(1000));
+        let d = algo.on_early_arrival(t(0), PC, us(1100));
+        assert!(d.choice.is_sleep());
+        assert!(d.wakeup.external);
+        assert_eq!(d.wakeup.internal_at, None);
+    }
+
+    #[test]
+    fn overprediction_cutoff_disables_thread_site() {
+        let mut algo = BarrierAlgorithm::new(AlgorithmConfig::thrifty(), 2);
+        episode(&mut algo, us(100), us(1000)); // BRTS = 1000, BIT = 1000
+        algo.on_early_arrival(t(0), PC, us(1100));
+        let rel = algo.on_last_arrival(t(1), PC, us(1500)); // BIT = 500µs
+        // Thread 0 overslept: woke 200µs after the 1500µs release; the
+        // penalty (200µs) exceeds 10% of BIT (50µs).
+        let f = algo.finish_barrier(t(0), PC, us(1700));
+        assert_eq!(f.penalty, us(200));
+        assert!(f.disabled);
+        assert!(algo.is_disabled(PC, t(0)));
+        assert!(!algo.is_disabled(PC, t(1)));
+        algo.finish_barrier(t(1), PC, rel.release_estimate);
+        // Next instance: thread 0 gets no prediction -> spins.
+        let d = algo.on_early_arrival(t(0), PC, us(1800));
+        assert_eq!(d.predicted_bit, None);
+        assert!(d.choice.is_spin());
+    }
+
+    #[test]
+    fn small_penalty_does_not_trip_cutoff() {
+        let mut algo = BarrierAlgorithm::new(AlgorithmConfig::thrifty(), 2);
+        episode(&mut algo, us(100), us(1000));
+        algo.on_early_arrival(t(0), PC, us(1100));
+        algo.on_last_arrival(t(1), PC, us(2000)); // BIT = 1000µs
+        // Woke 50µs late; 10% of BIT is 100µs -> fine.
+        let f = algo.finish_barrier(t(0), PC, us(2050));
+        assert_eq!(f.penalty, us(50));
+        assert!(!f.disabled);
+    }
+
+    #[test]
+    fn cutoff_disabled_never_disables() {
+        let cfg = AlgorithmConfig::thrifty().with_overprediction_threshold(None);
+        let mut algo = BarrierAlgorithm::new(cfg, 2);
+        episode(&mut algo, us(100), us(1000));
+        algo.on_early_arrival(t(0), PC, us(1100));
+        algo.on_last_arrival(t(1), PC, us(1500));
+        let f = algo.finish_barrier(t(0), PC, us(9000));
+        assert!(!f.disabled, "no cut-off configured");
+    }
+
+    #[test]
+    fn oracle_predicts_exact_instances() {
+        let mut algo = BarrierAlgorithm::new(AlgorithmConfig::ideal(), 2);
+        let mut oracle = RecordedBitOracle::new();
+        oracle.record(PC, 0, us(500));
+        oracle.record(PC, 1, us(700));
+        algo.install_oracle(oracle);
+        let d0 = algo.on_early_arrival(t(0), PC, us(100));
+        assert_eq!(d0.predicted_bit, Some(us(500)));
+        assert!(d0.choice.is_sleep(), "oracle sleeps even on instance 0");
+        let rel = algo.on_last_arrival(t(1), PC, us(500));
+        algo.finish_barrier(t(0), PC, rel.release_estimate);
+        algo.finish_barrier(t(1), PC, rel.release_estimate);
+        let d1 = algo.on_early_arrival(t(0), PC, us(600));
+        assert_eq!(d1.predicted_bit, Some(us(700)));
+    }
+
+    #[test]
+    #[should_panic(expected = "not the oracle predictor")]
+    fn installing_oracle_on_last_value_panics() {
+        let mut algo = BarrierAlgorithm::new(AlgorithmConfig::thrifty(), 2);
+        algo.install_oracle(RecordedBitOracle::new());
+    }
+
+    #[test]
+    fn direct_bst_uses_stall_not_interval() {
+        let cfg = AlgorithmConfig::thrifty().with_predictor(PredictorChoice::DirectBst);
+        let mut algo = BarrierAlgorithm::new(cfg, 2);
+        // Episode 1: thread 0 arrives at 100µs, release at 1000µs ->
+        // thread 0's actual BST = 900µs.
+        episode(&mut algo, us(100), us(1000));
+        // Episode 2: prediction = last BST (900µs), used directly as stall.
+        let d = algo.on_early_arrival(t(0), PC, us(1200));
+        assert_eq!(d.predicted_stall, Some(us(900)));
+        assert_eq!(d.estimated_release, Some(us(2100)));
+    }
+
+    #[test]
+    fn sites_have_independent_instances() {
+        let pc2 = BarrierPc::new(0x99);
+        let mut algo = BarrierAlgorithm::new(AlgorithmConfig::thrifty(), 2);
+        algo.on_early_arrival(t(0), PC, us(10));
+        let r1 = algo.on_last_arrival(t(1), PC, us(100));
+        algo.finish_barrier(t(0), PC, us(100));
+        algo.finish_barrier(t(1), PC, us(100));
+        algo.on_early_arrival(t(0), pc2, us(150));
+        let r2 = algo.on_last_arrival(t(1), pc2, us(300));
+        assert_eq!(r1.instance, 0);
+        assert_eq!(r2.instance, 0, "first instance at the second site");
+        assert_eq!(r2.measured_bit, us(200), "interval spans sites (global BRTS)");
+    }
+
+    #[test]
+    fn threads_accessor() {
+        let algo = BarrierAlgorithm::new(AlgorithmConfig::thrifty(), 7);
+        assert_eq!(algo.threads(), 7);
+        assert!(algo.config().thrifty);
+        assert_eq!(ThreadId::new(3).to_string(), "t3");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let _ = BarrierAlgorithm::new(AlgorithmConfig::thrifty(), 0);
+    }
+}

@@ -1,0 +1,272 @@
+//! The five system configurations of the paper's evaluation (§5.1) and the
+//! algorithm-level knobs behind them.
+//!
+//! | Config | Bar | Sleep states | Prediction | Flush overhead |
+//! |---|---|---|---|---|
+//! | Baseline | B | — (spin) | — | — |
+//! | Thrifty-Halt | H | Halt only | last-value | n/a (Halt snoops) |
+//! | Oracle-Halt | O | Halt only | perfect BIT | n/a |
+//! | Thrifty | T | Table 3 (all three) | last-value | charged |
+//! | Ideal | I | Table 3 | perfect BIT | waived |
+
+use crate::wakeup::WakeupMode;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use tb_energy::SleepTable;
+
+/// Which BIT predictor the algorithm uses.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PredictorChoice {
+    /// PC-indexed last-value prediction (the paper's).
+    LastValue,
+    /// EWMA of PC-indexed BIT with the given smoothing factor (ablation).
+    Averaging(f64),
+    /// Direct per-thread BST last-value prediction (ablation strawman).
+    DirectBst,
+    /// Confidence-gated last-value prediction: a 2-bit counter per site
+    /// must saturate before predictions are offered (extension ablation).
+    Confidence(f64),
+    /// Perfect per-instance BIT from a recorded trace (Oracle/Ideal).
+    Oracle,
+}
+
+impl fmt::Display for PredictorChoice {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PredictorChoice::LastValue => write!(f, "last-value"),
+            PredictorChoice::Averaging(a) => write!(f, "ewma(alpha={a})"),
+            PredictorChoice::DirectBst => write!(f, "direct-bst"),
+            PredictorChoice::Confidence(t) => write!(f, "confidence(tol={t})"),
+            PredictorChoice::Oracle => write!(f, "oracle"),
+        }
+    }
+}
+
+/// Everything that parameterizes the thrifty-barrier algorithm.
+#[derive(Debug, Clone)]
+pub struct AlgorithmConfig {
+    /// `false` = conventional spin barrier (Baseline).
+    pub thrifty: bool,
+    /// Predictor variant.
+    pub predictor: PredictorChoice,
+    /// Available sleep states.
+    pub sleep_table: SleepTable,
+    /// Wake-up mechanism.
+    pub wakeup: WakeupMode,
+    /// Profitability margin: predicted stall must exceed this multiple of
+    /// a state's round-trip transition latency.
+    pub min_stall_multiple: f64,
+    /// §3.3.3 cut-off as a fraction of BIT; `None` disables it.
+    pub overprediction_threshold: Option<f64>,
+    /// §3.4.2 filter: measured BITs larger than this factor × the table
+    /// entry are not installed; `None` disables it.
+    pub underprediction_factor: Option<f64>,
+    /// Whether deep-sleep cache flushes cost time/energy (`false` only for
+    /// Ideal).
+    pub flush_overhead: bool,
+    /// Internal-timer anticipation margin (§3.3.2): the timer starts the
+    /// exit transition this much *before* `predicted release − exit
+    /// latency`, trading a little residual spin for keeping the exit
+    /// latency off the critical path when the prediction is exact.
+    pub wakeup_anticipation: tb_sim::Cycles,
+}
+
+impl AlgorithmConfig {
+    /// Conventional sense-reversal spin barrier.
+    pub fn baseline() -> Self {
+        AlgorithmConfig {
+            thrifty: false,
+            predictor: PredictorChoice::LastValue,
+            sleep_table: SleepTable::paper(),
+            wakeup: WakeupMode::Hybrid,
+            min_stall_multiple: 2.0,
+            overprediction_threshold: Some(0.10),
+            underprediction_factor: Some(8.0),
+            flush_overhead: true,
+            wakeup_anticipation: tb_sim::Cycles::from_micros(3),
+        }
+    }
+
+    /// The full thrifty barrier: all of Table 3, last-value prediction,
+    /// hybrid wake-up, 10 % cut-off.
+    pub fn thrifty() -> Self {
+        AlgorithmConfig {
+            thrifty: true,
+            ..AlgorithmConfig::baseline()
+        }
+    }
+
+    /// Thrifty with Halt as the only sleep state.
+    pub fn thrifty_halt() -> Self {
+        AlgorithmConfig {
+            sleep_table: SleepTable::halt_only(),
+            ..AlgorithmConfig::thrifty()
+        }
+    }
+
+    /// Thrifty-Halt with perfect BIT prediction.
+    pub fn oracle_halt() -> Self {
+        AlgorithmConfig {
+            predictor: PredictorChoice::Oracle,
+            ..AlgorithmConfig::thrifty_halt()
+        }
+    }
+
+    /// Perfect prediction, all sleep states, and no flushing overhead.
+    pub fn ideal() -> Self {
+        AlgorithmConfig {
+            predictor: PredictorChoice::Oracle,
+            flush_overhead: false,
+            ..AlgorithmConfig::thrifty()
+        }
+    }
+
+    /// Returns a copy with a different wake-up mode (ablation A1).
+    pub fn with_wakeup(mut self, mode: WakeupMode) -> Self {
+        self.wakeup = mode;
+        self
+    }
+
+    /// Returns a copy with a different (or disabled) overprediction
+    /// cut-off (experiment E8).
+    pub fn with_overprediction_threshold(mut self, threshold: Option<f64>) -> Self {
+        self.overprediction_threshold = threshold;
+        self
+    }
+
+    /// Returns a copy with a different predictor (ablation A2).
+    pub fn with_predictor(mut self, predictor: PredictorChoice) -> Self {
+        self.predictor = predictor;
+        self
+    }
+}
+
+/// The five named configurations of Figures 5 and 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SystemConfig {
+    /// Conventional barriers.
+    Baseline,
+    /// Thrifty with Halt only.
+    ThriftyHalt,
+    /// Thrifty-Halt with perfect BIT prediction.
+    OracleHalt,
+    /// The full thrifty barrier.
+    Thrifty,
+    /// Perfect prediction and free flushes (lower bound).
+    Ideal,
+}
+
+impl SystemConfig {
+    /// All five, in the figures' bar order.
+    pub const ALL: [SystemConfig; 5] = [
+        SystemConfig::Baseline,
+        SystemConfig::ThriftyHalt,
+        SystemConfig::OracleHalt,
+        SystemConfig::Thrifty,
+        SystemConfig::Ideal,
+    ];
+
+    /// The single-letter label used in the figures (B, H, O, T, I).
+    pub fn letter(self) -> char {
+        match self {
+            SystemConfig::Baseline => 'B',
+            SystemConfig::ThriftyHalt => 'H',
+            SystemConfig::OracleHalt => 'O',
+            SystemConfig::Thrifty => 'T',
+            SystemConfig::Ideal => 'I',
+        }
+    }
+
+    /// Full name as used in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            SystemConfig::Baseline => "Baseline",
+            SystemConfig::ThriftyHalt => "Thrifty-Halt",
+            SystemConfig::OracleHalt => "Oracle-Halt",
+            SystemConfig::Thrifty => "Thrifty",
+            SystemConfig::Ideal => "Ideal",
+        }
+    }
+
+    /// Whether this configuration needs a recorded oracle trace.
+    pub fn needs_oracle(self) -> bool {
+        matches!(self, SystemConfig::OracleHalt | SystemConfig::Ideal)
+    }
+
+    /// The algorithm configuration implementing this system.
+    pub fn algorithm_config(self) -> AlgorithmConfig {
+        match self {
+            SystemConfig::Baseline => AlgorithmConfig::baseline(),
+            SystemConfig::ThriftyHalt => AlgorithmConfig::thrifty_halt(),
+            SystemConfig::OracleHalt => AlgorithmConfig::oracle_halt(),
+            SystemConfig::Thrifty => AlgorithmConfig::thrifty(),
+            SystemConfig::Ideal => AlgorithmConfig::ideal(),
+        }
+    }
+}
+
+impl fmt::Display for SystemConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn letters_match_figures() {
+        let letters: String = SystemConfig::ALL.iter().map(|c| c.letter()).collect();
+        assert_eq!(letters, "BHOTI");
+    }
+
+    #[test]
+    fn baseline_is_not_thrifty() {
+        assert!(!AlgorithmConfig::baseline().thrifty);
+        assert!(AlgorithmConfig::thrifty().thrifty);
+    }
+
+    #[test]
+    fn halt_configs_have_one_state() {
+        assert_eq!(SystemConfig::ThriftyHalt.algorithm_config().sleep_table.len(), 1);
+        assert_eq!(SystemConfig::OracleHalt.algorithm_config().sleep_table.len(), 1);
+        assert_eq!(SystemConfig::Thrifty.algorithm_config().sleep_table.len(), 3);
+    }
+
+    #[test]
+    fn oracle_flags() {
+        assert!(SystemConfig::OracleHalt.needs_oracle());
+        assert!(SystemConfig::Ideal.needs_oracle());
+        assert!(!SystemConfig::Thrifty.needs_oracle());
+        assert_eq!(
+            SystemConfig::Ideal.algorithm_config().predictor,
+            PredictorChoice::Oracle
+        );
+    }
+
+    #[test]
+    fn ideal_waives_flush_overhead() {
+        assert!(!SystemConfig::Ideal.algorithm_config().flush_overhead);
+        assert!(SystemConfig::Thrifty.algorithm_config().flush_overhead);
+    }
+
+    #[test]
+    fn builder_knobs() {
+        let c = AlgorithmConfig::thrifty()
+            .with_wakeup(WakeupMode::ExternalOnly)
+            .with_overprediction_threshold(None)
+            .with_predictor(PredictorChoice::Averaging(0.5));
+        assert_eq!(c.wakeup, WakeupMode::ExternalOnly);
+        assert_eq!(c.overprediction_threshold, None);
+        assert!(matches!(c.predictor, PredictorChoice::Averaging(_)));
+    }
+
+    #[test]
+    fn names_and_display() {
+        assert_eq!(SystemConfig::Thrifty.to_string(), "Thrifty");
+        assert_eq!(SystemConfig::OracleHalt.name(), "Oracle-Halt");
+        assert_eq!(PredictorChoice::LastValue.to_string(), "last-value");
+        assert!(PredictorChoice::Averaging(0.25).to_string().contains("0.25"));
+    }
+}

@@ -1,0 +1,206 @@
+//! Per-thread timing bookkeeping without a global clock (§3.2.1).
+//!
+//! The paper maintains, per thread, a *local* release timestamp of the
+//! previous barrier instance (BRTS). The induction works as follows:
+//!
+//! * On arrival at barrier `b` at local time `now`, the thread's compute
+//!   time for the interval is `now − BRTS(b−1)`, and its estimated wake-up
+//!   time is `BRTS(b−1) + predicted BIT(b)`. Subtracting `now` yields the
+//!   predicted stall time (BST).
+//! * The last-arriving thread measures the true `BIT(b)` as
+//!   `now − its own BRTS(b−1)` and publishes it.
+//! * Once awake and past the barrier, every thread advances its BRTS by the
+//!   *published* `BIT(b)` — not by its own wake-up time — keeping all BRTS
+//!   values consistent without any global clock.
+//!
+//! The only assumptions are the paper's: all processors share a nominal
+//! clock frequency, and flag-propagation time is negligible against the
+//! interval time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use tb_sim::Cycles;
+
+/// A thread's barrier timing state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ThreadTiming {
+    /// Local release timestamp of the previous barrier instance
+    /// (zero denotes the beginning of the program, as in the paper).
+    brts: Cycles,
+}
+
+/// The quantities derived at arrival time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArrivalEstimate {
+    /// Compute time since the previous release: `now − BRTS`.
+    pub compute_time: Cycles,
+    /// Estimated absolute wake-up (release) time: `BRTS + predicted BIT`.
+    pub estimated_release: Cycles,
+    /// Predicted stall ahead: `estimated_release − now`, saturating to zero
+    /// when the prediction says the release should already have happened.
+    pub predicted_stall: Cycles,
+}
+
+impl ThreadTiming {
+    /// Fresh state: BRTS at time zero (program start).
+    pub fn new() -> Self {
+        ThreadTiming::default()
+    }
+
+    /// The local release timestamp of the previous barrier instance.
+    pub fn brts(&self) -> Cycles {
+        self.brts
+    }
+
+    /// Compute time accumulated since the previous release.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the recorded BRTS (the executor fed
+    /// timestamps out of order).
+    pub fn compute_time(&self, now: Cycles) -> Cycles {
+        now.checked_sub(self.brts)
+            .expect("arrival before the previous release: executor clock bug")
+    }
+
+    /// Derives the arrival-time estimates from a predicted BIT (§3.2.1).
+    pub fn estimate(&self, now: Cycles, predicted_bit: Cycles) -> ArrivalEstimate {
+        let compute_time = self.compute_time(now);
+        let estimated_release = self.brts + predicted_bit;
+        ArrivalEstimate {
+            compute_time,
+            estimated_release,
+            predicted_stall: estimated_release.saturating_sub(now),
+        }
+    }
+
+    /// Derives the estimate when the predictor produced a *stall* directly
+    /// (the direct-BST ablation): no subtraction is performed.
+    pub fn estimate_direct_stall(&self, now: Cycles, predicted_stall: Cycles) -> ArrivalEstimate {
+        ArrivalEstimate {
+            compute_time: self.compute_time(now),
+            estimated_release: now + predicted_stall,
+            predicted_stall,
+        }
+    }
+
+    /// The measured BIT as observed by the *last-arriving* thread flipping
+    /// the flag at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the recorded BRTS.
+    pub fn measure_bit(&self, now: Cycles) -> Cycles {
+        self.compute_time(now)
+    }
+
+    /// Advances BRTS past a released barrier using the published BIT,
+    /// returning the new local release timestamp.
+    pub fn advance(&mut self, published_bit: Cycles) -> Cycles {
+        self.brts += published_bit;
+        self.brts
+    }
+
+    /// The overprediction penalty of §3.3.3: how much later than the
+    /// (derived) release this thread woke up. Zero when the wake-up was
+    /// early or on time.
+    pub fn overprediction_penalty(&self, wakeup_timestamp: Cycles) -> Cycles {
+        wakeup_timestamp.delta(self.brts).late_by()
+    }
+}
+
+impl fmt::Display for ThreadTiming {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BRTS={}", self.brts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_state_starts_at_zero() {
+        let t = ThreadTiming::new();
+        assert_eq!(t.brts(), Cycles::ZERO);
+        assert_eq!(t.compute_time(Cycles::from_micros(5)), Cycles::from_micros(5));
+    }
+
+    #[test]
+    fn estimate_decomposes_interval() {
+        let mut t = ThreadTiming::new();
+        t.advance(Cycles::from_micros(100)); // previous barrier released at 100µs
+        // Thread computes 40µs then arrives; BIT predicted 100µs.
+        let e = t.estimate(Cycles::from_micros(140), Cycles::from_micros(100));
+        assert_eq!(e.compute_time, Cycles::from_micros(40));
+        assert_eq!(e.estimated_release, Cycles::from_micros(200));
+        assert_eq!(e.predicted_stall, Cycles::from_micros(60));
+    }
+
+    #[test]
+    fn late_arrival_predicts_zero_stall() {
+        let t = ThreadTiming::new();
+        // Predicted BIT 50µs but the thread only arrives at 80µs: the
+        // prediction says the barrier should already be released.
+        let e = t.estimate(Cycles::from_micros(80), Cycles::from_micros(50));
+        assert_eq!(e.predicted_stall, Cycles::ZERO);
+    }
+
+    #[test]
+    fn induction_tracks_releases_exactly() {
+        // Two threads; thread A always arrives early, thread B releases.
+        let mut a = ThreadTiming::new();
+        let mut b = ThreadTiming::new();
+        let mut true_release = Cycles::ZERO;
+        for i in 1..=5u64 {
+            let bit = Cycles::from_micros(100 + 10 * i);
+            true_release += bit;
+            // B arrives last exactly at the release instant.
+            assert_eq!(b.measure_bit(true_release), bit);
+            a.advance(bit);
+            b.advance(bit);
+            assert_eq!(a.brts(), true_release, "BRTS matches true release");
+            assert_eq!(a.brts(), b.brts(), "all threads agree without a global clock");
+        }
+    }
+
+    #[test]
+    fn direct_stall_estimate_skips_subtraction() {
+        let t = ThreadTiming::new();
+        let e = t.estimate_direct_stall(Cycles::from_micros(70), Cycles::from_micros(25));
+        assert_eq!(e.predicted_stall, Cycles::from_micros(25));
+        assert_eq!(e.estimated_release, Cycles::from_micros(95));
+        assert_eq!(e.compute_time, Cycles::from_micros(70));
+    }
+
+    #[test]
+    fn overprediction_penalty_definition() {
+        let mut t = ThreadTiming::new();
+        t.advance(Cycles::from_micros(200)); // barrier released at 200µs
+        // Woke at 230µs: 30µs late.
+        assert_eq!(
+            t.overprediction_penalty(Cycles::from_micros(230)),
+            Cycles::from_micros(30)
+        );
+        // Woke at 190µs (early): no penalty.
+        assert_eq!(
+            t.overprediction_penalty(Cycles::from_micros(190)),
+            Cycles::ZERO
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "executor clock bug")]
+    fn arrival_before_release_panics() {
+        let mut t = ThreadTiming::new();
+        t.advance(Cycles::from_micros(100));
+        t.compute_time(Cycles::from_micros(50));
+    }
+
+    #[test]
+    fn display_shows_brts() {
+        let mut t = ThreadTiming::new();
+        t.advance(Cycles::from_micros(3));
+        assert!(t.to_string().contains("BRTS"));
+    }
+}

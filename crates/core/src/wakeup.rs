@@ -1,0 +1,184 @@
+//! Wake-up planning (§3.3): external, internal, and hybrid.
+//!
+//! * **External** wake-up turns the invalidation of the barrier flag —
+//!   sent by the coherence protocol when the last thread flips it — into a
+//!   wake-up signal via a small cache-controller extension. It is exact but
+//!   *late by construction*: the exit transition starts only at release, so
+//!   the full exit latency lands on the critical path.
+//! * **Internal** wake-up programs a countdown timer in the cache
+//!   controller with the predicted stall, *minus the exit latency*, so the
+//!   CPU is (ideally) awake right at the release. It risks both early
+//!   wake-up (residual spin energy) and unbounded late wake-up.
+//! * **Hybrid** arms both; the first to fire cancels the other, so the
+//!   external signal bounds any overprediction while the timer provides
+//!   timeliness.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use tb_sim::Cycles;
+
+/// Which wake-up mechanisms are armed for a sleeping CPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WakeupMode {
+    /// Only the flag-invalidation signal (§3.3.1).
+    ExternalOnly,
+    /// Only the programmed timer (§3.3.2); unbounded if overpredicted.
+    InternalOnly,
+    /// Both, first-wins (the paper's choice).
+    Hybrid,
+}
+
+impl fmt::Display for WakeupMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            WakeupMode::ExternalOnly => "external-only",
+            WakeupMode::InternalOnly => "internal-only",
+            WakeupMode::Hybrid => "hybrid",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A concrete wake-up plan for one sleep episode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WakeupPlan {
+    /// Arm the flag-watch in the cache controller?
+    pub external: bool,
+    /// Absolute time at which the internal timer starts the exit
+    /// transition, if armed.
+    pub internal_at: Option<Cycles>,
+}
+
+impl WakeupPlan {
+    /// Builds the plan for a thread that goes to sleep at `now` expecting
+    /// the barrier release at `estimated_release`, in a state whose exit
+    /// takes `exit_latency`.
+    ///
+    /// The internal timer targets `estimated_release − exit_latency −
+    /// anticipation`, clamped to `now` (the transition cannot start in the
+    /// past). The anticipation margin implements §3.3.2's "initiate the
+    /// transition … *before* the barrier is released (at the risk of
+    /// incurring early wake-up)": without it, an exactly-correct prediction
+    /// ties with the release and the external path — which puts the whole
+    /// exit latency on the critical path — wins half the time.
+    pub fn new(
+        mode: WakeupMode,
+        now: Cycles,
+        estimated_release: Cycles,
+        exit_latency: Cycles,
+        anticipation: Cycles,
+    ) -> Self {
+        let timer = estimated_release
+            .saturating_sub(exit_latency)
+            .saturating_sub(anticipation)
+            .max(now);
+        match mode {
+            WakeupMode::ExternalOnly => WakeupPlan {
+                external: true,
+                internal_at: None,
+            },
+            WakeupMode::InternalOnly => WakeupPlan {
+                external: false,
+                internal_at: Some(timer),
+            },
+            WakeupMode::Hybrid => WakeupPlan {
+                external: true,
+                internal_at: Some(timer),
+            },
+        }
+    }
+}
+
+impl fmt::Display for WakeupPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.external, self.internal_at) {
+            (true, Some(t)) => write!(f, "hybrid(timer@{t})"),
+            (true, None) => write!(f, "external"),
+            (false, Some(t)) => write!(f, "internal(timer@{t})"),
+            (false, None) => write!(f, "none"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NOW: Cycles = Cycles::new(1_000_000);
+
+    #[test]
+    fn hybrid_arms_both() {
+        let p = WakeupPlan::new(
+            WakeupMode::Hybrid,
+            NOW,
+            Cycles::new(2_000_000),
+            Cycles::from_micros(10),
+            Cycles::ZERO,
+        );
+        assert!(p.external);
+        assert_eq!(p.internal_at, Some(Cycles::new(1_990_000)));
+    }
+
+    #[test]
+    fn external_only_has_no_timer() {
+        let p = WakeupPlan::new(
+            WakeupMode::ExternalOnly,
+            NOW,
+            Cycles::new(2_000_000),
+            Cycles::from_micros(10),
+            Cycles::ZERO,
+        );
+        assert!(p.external);
+        assert_eq!(p.internal_at, None);
+    }
+
+    #[test]
+    fn internal_only_disarms_external() {
+        let p = WakeupPlan::new(
+            WakeupMode::InternalOnly,
+            NOW,
+            Cycles::new(2_000_000),
+            Cycles::from_micros(10),
+            Cycles::ZERO,
+        );
+        assert!(!p.external);
+        assert!(p.internal_at.is_some());
+    }
+
+    #[test]
+    fn timer_anticipates_exit_latency() {
+        // The whole point of internal wake-up: start the exit transition
+        // exit_latency before the predicted release.
+        let release = Cycles::from_millis(10);
+        let exit = Cycles::from_micros(35);
+        let p = WakeupPlan::new(WakeupMode::Hybrid, NOW, release, exit, Cycles::ZERO);
+        assert_eq!(p.internal_at, Some(release - exit));
+        let guard = Cycles::from_micros(3);
+        let p = WakeupPlan::new(WakeupMode::Hybrid, NOW, release, exit, guard);
+        assert_eq!(p.internal_at, Some(release - exit - guard), "anticipation subtracts");
+    }
+
+    #[test]
+    fn timer_clamped_to_now() {
+        // Predicted release so close that the exit can't finish in time:
+        // start immediately rather than in the past.
+        let p = WakeupPlan::new(
+            WakeupMode::Hybrid,
+            NOW,
+            NOW + Cycles::from_micros(1),
+            Cycles::from_micros(10),
+            Cycles::ZERO,
+        );
+        assert_eq!(p.internal_at, Some(NOW));
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(WakeupMode::Hybrid.to_string(), "hybrid");
+        assert_eq!(WakeupMode::ExternalOnly.to_string(), "external-only");
+        let p = WakeupPlan::new(WakeupMode::ExternalOnly, NOW, NOW, Cycles::new(1), Cycles::ZERO);
+        assert_eq!(p.to_string(), "external");
+        let p = WakeupPlan::new(WakeupMode::InternalOnly, NOW, NOW, Cycles::new(1), Cycles::ZERO);
+        assert!(p.to_string().starts_with("internal"));
+    }
+}

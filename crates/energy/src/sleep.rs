@@ -1,0 +1,387 @@
+//! Low-power processor sleep states (Table 3 of the paper).
+//!
+//! Each state is characterized by its power savings relative to TDPmax, its
+//! one-way transition latency, whether the cache can still respond to
+//! coherence protocol requests ("snoop") while asleep, and whether the
+//! supply voltage is reduced. The paper's three states are inspired by the
+//! Intel Pentium family:
+//!
+//! | State | Savings | Transition | Snoop? | Voltage reduction? |
+//! |-------|---------|-----------|--------|---------------------|
+//! | Sleep1 (Halt) | 70.2 % | 10 µs | yes | no |
+//! | Sleep2 | 79.2 % | 15 µs | no | no |
+//! | Sleep3 | 97.8 % | 35 µs | no | yes |
+//!
+//! Non-snoopable states force the processor to flush dirty *shared* data
+//! before sleeping (§3.1), which the machine model charges as extra compute
+//! time and coherence traffic.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use tb_sim::Cycles;
+
+/// Index of a sleep state within its [`SleepTable`], ordered from the
+/// shallowest (index 0) to the deepest state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SleepStateId(usize);
+
+impl SleepStateId {
+    /// Raw index into the owning table.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for SleepStateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0 + 1)
+    }
+}
+
+/// One low-power sleep state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SleepState {
+    name: &'static str,
+    power_savings: f64,
+    transition_latency: Cycles,
+    snoops: bool,
+    voltage_reduction: bool,
+}
+
+impl SleepState {
+    /// Creates a sleep state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power_savings` is not in `(0, 1]` or the latency is zero.
+    pub fn new(
+        name: &'static str,
+        power_savings: f64,
+        transition_latency: Cycles,
+        snoops: bool,
+        voltage_reduction: bool,
+    ) -> Self {
+        assert!(
+            power_savings > 0.0 && power_savings <= 1.0,
+            "{name}: power savings must be in (0,1], got {power_savings}"
+        );
+        assert!(
+            transition_latency > Cycles::ZERO,
+            "{name}: transition latency must be positive"
+        );
+        SleepState {
+            name,
+            power_savings,
+            transition_latency,
+            snoops,
+            voltage_reduction,
+        }
+    }
+
+    /// Human-readable name ("Sleep1 (Halt)", …).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Fraction of TDPmax saved while resident in the state.
+    pub fn power_savings(&self) -> f64 {
+        self.power_savings
+    }
+
+    /// One-way transition latency (entry and exit are symmetric, as in the
+    /// paper's Table 3).
+    pub fn transition_latency(&self) -> Cycles {
+        self.transition_latency
+    }
+
+    /// Entry plus exit latency.
+    pub fn round_trip(&self) -> Cycles {
+        self.transition_latency * 2
+    }
+
+    /// Whether the cache still services coherence requests while the CPU is
+    /// in this state. If `false`, dirty shared data must be flushed before
+    /// entering (§3.1) and the on-chip cache controller answers
+    /// invalidations on the CPU's behalf.
+    pub fn snoops(&self) -> bool {
+        self.snoops
+    }
+
+    /// Whether the supply voltage is lowered (reduces leakage; Sleep3).
+    pub fn voltage_reduction(&self) -> bool {
+        self.voltage_reduction
+    }
+
+    /// Residency power in watts given the machine's TDPmax.
+    pub fn power_watts(&self, tdp_max: f64) -> f64 {
+        tdp_max * (1.0 - self.power_savings)
+    }
+}
+
+impl fmt::Display for SleepState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: savings {:.1}%, transition {}, snoop {}, Vdd-reduction {}",
+            self.name,
+            self.power_savings * 100.0,
+            self.transition_latency,
+            if self.snoops { "yes" } else { "no" },
+            if self.voltage_reduction { "yes" } else { "no" }
+        )
+    }
+}
+
+/// An ordered table of sleep states, shallowest first, as scanned by the
+/// paper's `sleep()` library call (§3.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SleepTable {
+    states: Vec<SleepState>,
+}
+
+impl SleepTable {
+    /// The paper's Table 3.
+    pub fn paper() -> Self {
+        SleepTable::from_states(vec![
+            SleepState::new("Sleep1 (Halt)", 0.702, Cycles::from_micros(10), true, false),
+            SleepState::new("Sleep2", 0.792, Cycles::from_micros(15), false, false),
+            SleepState::new("Sleep3", 0.978, Cycles::from_micros(35), false, true),
+        ])
+    }
+
+    /// Only the Halt state — the Thrifty-Halt configuration of §5.1.
+    pub fn halt_only() -> Self {
+        SleepTable::from_states(vec![SleepState::new(
+            "Sleep1 (Halt)",
+            0.702,
+            Cycles::from_micros(10),
+            true,
+            false,
+        )])
+    }
+
+    /// Builds a table from explicit states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is empty or states are not ordered by strictly
+    /// increasing savings and non-decreasing transition latency (deeper
+    /// states must save more and may take longer).
+    pub fn from_states(states: Vec<SleepState>) -> Self {
+        assert!(!states.is_empty(), "sleep table cannot be empty");
+        for w in states.windows(2) {
+            assert!(
+                w[1].power_savings > w[0].power_savings,
+                "sleep states must have strictly increasing savings"
+            );
+            assert!(
+                w[1].transition_latency >= w[0].transition_latency,
+                "deeper sleep states cannot transition faster"
+            );
+        }
+        SleepTable { states }
+    }
+
+    /// Number of states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// `false`; tables are never empty, but the method exists for symmetry
+    /// with `len` (C-ITER conventions).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The states, shallowest first.
+    pub fn iter(&self) -> std::slice::Iter<'_, SleepState> {
+        self.states.iter()
+    }
+
+    /// The state for an id handed out by this table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id came from a larger table.
+    pub fn state(&self, id: SleepStateId) -> &SleepState {
+        &self.states[id.0]
+    }
+
+    /// Id of the shallowest state.
+    pub fn shallowest(&self) -> SleepStateId {
+        SleepStateId(0)
+    }
+
+    /// Id of the deepest state.
+    pub fn deepest(&self) -> SleepStateId {
+        SleepStateId(self.states.len() - 1)
+    }
+
+    /// The paper's `sleep()` selection: the deepest state whose round-trip
+    /// transition, scaled by the profitability margin `min_stall_multiple`,
+    /// fits within the predicted stall time. Returns `None` when not even
+    /// the shallowest state fits — the caller then spins conventionally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_stall_multiple < 1.0`.
+    pub fn best_fit(
+        &self,
+        predicted_stall: Cycles,
+        min_stall_multiple: f64,
+    ) -> Option<SleepStateId> {
+        assert!(
+            min_stall_multiple >= 1.0,
+            "min stall multiple must be >= 1.0, got {min_stall_multiple}"
+        );
+        self.states
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, s)| s.round_trip().scale(min_stall_multiple) <= predicted_stall)
+            .map(|(i, _)| SleepStateId(i))
+    }
+}
+
+impl<'a> IntoIterator for &'a SleepTable {
+    type Item = &'a SleepState;
+    type IntoIter = std::slice::Iter<'a, SleepState>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.states.iter()
+    }
+}
+
+impl fmt::Display for SleepTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, s) in self.states.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "S{}: {s}", i + 1)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table_matches_table3() {
+        let t = SleepTable::paper();
+        assert_eq!(t.len(), 3);
+        let s1 = t.state(t.shallowest());
+        let s3 = t.state(t.deepest());
+        assert_eq!(s1.power_savings(), 0.702);
+        assert_eq!(s1.transition_latency(), Cycles::from_micros(10));
+        assert!(s1.snoops());
+        assert!(!s1.voltage_reduction());
+        assert_eq!(s3.power_savings(), 0.978);
+        assert_eq!(s3.transition_latency(), Cycles::from_micros(35));
+        assert!(!s3.snoops());
+        assert!(s3.voltage_reduction());
+        let s2 = &t.iter().nth(1).unwrap();
+        assert_eq!(s2.power_savings(), 0.792);
+        assert!(!s2.snoops());
+        assert!(!s2.voltage_reduction());
+    }
+
+    #[test]
+    fn residency_power_from_tdp_ratio() {
+        let t = SleepTable::paper();
+        let halt = t.state(t.shallowest());
+        assert!((halt.power_watts(60.0) - 60.0 * 0.298).abs() < 1e-9);
+    }
+
+    #[test]
+    fn best_fit_picks_deepest_that_fits() {
+        let t = SleepTable::paper();
+        // Round trips: 20us, 30us, 70us. With multiple=2: need 40/60/140us.
+        assert_eq!(t.best_fit(Cycles::from_micros(30), 2.0), None);
+        assert_eq!(
+            t.best_fit(Cycles::from_micros(50), 2.0),
+            Some(t.shallowest())
+        );
+        assert_eq!(
+            t.best_fit(Cycles::from_micros(100), 2.0).map(|i| i.index()),
+            Some(1)
+        );
+        assert_eq!(
+            t.best_fit(Cycles::from_micros(200), 2.0),
+            Some(t.deepest())
+        );
+    }
+
+    #[test]
+    fn best_fit_margin_one_is_break_even() {
+        let t = SleepTable::paper();
+        assert_eq!(
+            t.best_fit(Cycles::from_micros(20), 1.0),
+            Some(t.shallowest())
+        );
+        assert_eq!(t.best_fit(Cycles::from_micros(19), 1.0), None);
+    }
+
+    #[test]
+    fn halt_only_has_one_snoopable_state() {
+        let t = SleepTable::halt_only();
+        assert_eq!(t.len(), 1);
+        assert!(t.state(t.deepest()).snoops());
+        assert_eq!(t.shallowest(), t.deepest());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing savings")]
+    fn unordered_savings_rejected() {
+        let _ = SleepTable::from_states(vec![
+            SleepState::new("a", 0.8, Cycles::from_micros(10), true, false),
+            SleepState::new("b", 0.7, Cycles::from_micros(20), true, false),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot transition faster")]
+    fn unordered_latency_rejected() {
+        let _ = SleepTable::from_states(vec![
+            SleepState::new("a", 0.7, Cycles::from_micros(20), true, false),
+            SleepState::new("b", 0.8, Cycles::from_micros(10), true, false),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be empty")]
+    fn empty_table_rejected() {
+        let _ = SleepTable::from_states(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "power savings must be")]
+    fn zero_savings_rejected() {
+        let _ = SleepState::new("x", 0.0, Cycles::from_micros(1), true, false);
+    }
+
+    #[test]
+    fn iteration_orders_shallow_to_deep() {
+        let t = SleepTable::paper();
+        let savings: Vec<f64> = (&t).into_iter().map(|s| s.power_savings()).collect();
+        assert_eq!(savings, vec![0.702, 0.792, 0.978]);
+    }
+
+    #[test]
+    fn display_lists_all_states() {
+        let s = SleepTable::paper().to_string();
+        assert!(s.contains("Halt"));
+        assert!(s.contains("Sleep3"));
+        assert!(s.contains("97.8%"));
+    }
+
+    #[test]
+    fn round_trip_is_double_latency() {
+        let t = SleepTable::paper();
+        assert_eq!(
+            t.state(t.deepest()).round_trip(),
+            Cycles::from_micros(70)
+        );
+    }
+}

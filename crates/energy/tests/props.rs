@@ -1,0 +1,112 @@
+//! Property-based tests of the energy substrate.
+
+use proptest::prelude::*;
+use tb_energy::{CpuLedger, EnergyCategory, MachineLedger, PowerModel, SleepTable};
+use tb_sim::Cycles;
+
+fn arb_category() -> impl Strategy<Value = EnergyCategory> {
+    prop_oneof![
+        Just(EnergyCategory::Compute),
+        Just(EnergyCategory::Spin),
+        Just(EnergyCategory::Transition),
+        Just(EnergyCategory::Sleep),
+    ]
+}
+
+proptest! {
+    /// Energy is exactly the sum of power × time over recorded intervals,
+    /// per category and in total.
+    #[test]
+    fn ledger_is_additive(
+        records in proptest::collection::vec(
+            (arb_category(), 1u64..10_000_000, 0.0f64..200.0),
+            0..50,
+        ),
+    ) {
+        let mut ledger = CpuLedger::new();
+        let mut expected = [0.0f64; 4];
+        let mut expected_time = [0.0f64; 4];
+        for &(cat, dur, watts) in &records {
+            ledger.record(cat, Cycles::new(dur), watts);
+            expected[cat.index()] += watts * Cycles::new(dur).as_secs_f64();
+            expected_time[cat.index()] += dur as f64;
+        }
+        for cat in EnergyCategory::ALL {
+            prop_assert!(
+                (ledger.energy()[cat] - expected[cat.index()]).abs()
+                    < 1e-9 * (1.0 + expected[cat.index()]),
+            );
+            prop_assert!((ledger.time()[cat] - expected_time[cat.index()]).abs() < 1e-6);
+        }
+        let total: f64 = expected.iter().sum();
+        prop_assert!((ledger.total_energy() - total).abs() < 1e-9 * (1.0 + total));
+    }
+
+    /// A transition ramp charges the average of its endpoint powers.
+    #[test]
+    fn transition_ramp_average(
+        dur in 1u64..1_000_000,
+        from in 0.0f64..200.0,
+        to in 0.0f64..200.0,
+    ) {
+        let mut ledger = CpuLedger::new();
+        ledger.record_transition(Cycles::new(dur), from, to);
+        let expected = 0.5 * (from + to) * Cycles::new(dur).as_secs_f64();
+        prop_assert!((ledger.energy()[EnergyCategory::Transition] - expected).abs() < 1e-12);
+    }
+
+    /// Fractions always sum to 1 (or 0 for an empty breakdown), and
+    /// normalization scales linearly.
+    #[test]
+    fn fractions_and_normalization(
+        values in proptest::collection::vec(0.0f64..1e6, 4),
+        denom in 0.1f64..1e6,
+    ) {
+        let mut b = tb_energy::CategoryBreakdown::new();
+        for (cat, &v) in EnergyCategory::ALL.iter().zip(&values) {
+            b[*cat] = v;
+        }
+        let f = b.fractions();
+        let total: f64 = values.iter().sum();
+        if total > 0.0 {
+            prop_assert!((f.total() - 1.0).abs() < 1e-9);
+        } else {
+            prop_assert_eq!(f.total(), 0.0);
+        }
+        let n = b.normalized_to(denom);
+        prop_assert!((n.total() - total / denom).abs() < 1e-9 * (1.0 + total / denom));
+    }
+
+    /// Machine-wide aggregation equals the sum over CPUs.
+    #[test]
+    fn machine_ledger_aggregates(
+        per_cpu in proptest::collection::vec((1u64..1_000_000, 0.0f64..100.0), 1..16),
+    ) {
+        let mut m = MachineLedger::new(per_cpu.len());
+        let mut total = 0.0;
+        for (cpu, &(dur, watts)) in per_cpu.iter().enumerate() {
+            m.cpu_mut(cpu).record(EnergyCategory::Compute, Cycles::new(dur), watts);
+            total += watts * Cycles::new(dur).as_secs_f64();
+        }
+        prop_assert!((m.total_energy() - total).abs() < 1e-9 * (1.0 + total));
+    }
+
+    /// Sleep-state residency power never exceeds the power of a shallower
+    /// state, and deeper states always have longer-or-equal transitions.
+    #[test]
+    fn sleep_table_ordering(tdp in 1.0f64..500.0) {
+        let table = SleepTable::paper();
+        let states: Vec<_> = table.iter().collect();
+        for w in states.windows(2) {
+            prop_assert!(w[1].power_watts(tdp) < w[0].power_watts(tdp));
+            prop_assert!(w[1].transition_latency() >= w[0].transition_latency());
+        }
+        // All residency powers are below spin power (sleeping always
+        // beats spinning once transitions are amortized).
+        let power = PowerModel::paper();
+        let scaled_spin = power.spin_watts() / power.tdp_max() * tdp;
+        for s in &table {
+            prop_assert!(s.power_watts(tdp) < scaled_spin);
+        }
+    }
+}

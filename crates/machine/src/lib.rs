@@ -1,0 +1,51 @@
+#![warn(missing_docs)]
+//! The full simulated machine: the paper's experimental platform.
+//!
+//! [`Simulator`] executes a workload trace on the CC-NUMA substrate
+//! (`tb-mem`) under one of the paper's barrier configurations (`tb-core`),
+//! accounting energy with the Wattch-derived power model (`tb-energy`).
+//! Each simulated processor is a state machine:
+//!
+//! ```text
+//! Computing ──ComputeDone──► check in (lock + count over coherence)
+//!    ▲                           │
+//!    │                 early?────┴────last?
+//!    │                   │              │
+//!    │        spin ◄── sleep()          └─► flip flag ──► invalidations
+//!    │          │     (maybe flush,                        = external
+//!    │          │      enter state,                          wake-ups
+//!    │          │      arm timer)
+//!    │          ▼            │
+//!    └──── observe flip ◄────┴── wake (timer or invalidation),
+//!            (residual spin)      exit transition, residual check
+//! ```
+//!
+//! * [`report`] — per-run results: wall-clock, the Compute / Spin /
+//!   Transition / Sleep energy and time breakdowns of Figures 5-6, barrier
+//!   event counts, prediction accuracy, and the per-instance records behind
+//!   Figure 3 and the oracle tables.
+//! * [`sim`] — the discrete-event executor itself.
+//! * [`run`] — high-level entry points: run an application under a named
+//!   [`tb_core::SystemConfig`] (transparently performing the Baseline
+//!   pre-run that feeds the Oracle-Halt/Ideal predictors), or under an
+//!   explicit [`tb_core::AlgorithmConfig`] for the ablations.
+//!
+//! # Examples
+//!
+//! ```
+//! use tb_core::SystemConfig;
+//! use tb_machine::run::run_app;
+//! use tb_workloads::AppSpec;
+//!
+//! let app = AppSpec::by_name("FMM").unwrap();
+//! let baseline = run_app(&app, 16, 1, SystemConfig::Baseline);
+//! let thrifty = run_app(&app, 16, 1, SystemConfig::Thrifty);
+//! assert!(thrifty.total_energy() < baseline.total_energy());
+//! ```
+
+pub mod report;
+pub mod run;
+pub mod sim;
+
+pub use report::{BarrierEventCounts, InstanceRecord, RunReport, SiteSummary};
+pub use sim::{Simulator, SimulatorConfig, TimeSharing};

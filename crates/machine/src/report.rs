@@ -1,0 +1,297 @@
+//! Per-run results: everything the evaluation section consumes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use tb_energy::{CategoryBreakdown, EnergyCategory, MachineLedger};
+use tb_sim::{Cycles, OnlineStats};
+
+/// Counts of barrier-related events during a run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BarrierEventCounts {
+    /// Barrier episodes executed (dynamic instances).
+    pub episodes: u64,
+    /// Early (non-releasing) arrivals.
+    pub early_arrivals: u64,
+    /// Early arrivals that spun (no prediction, too-short stall, disabled,
+    /// or conventional barrier).
+    pub spins: u64,
+    /// Early arrivals that entered each sleep state (indexed by state).
+    pub sleeps_by_state: Vec<u64>,
+    /// Cache flushes performed before non-snoopable sleeps.
+    pub flushes: u64,
+    /// Dirty shared lines written back by those flushes.
+    pub flushed_lines: u64,
+    /// Sleep episodes ended by the internal timer.
+    pub internal_wakeups: u64,
+    /// Sleep episodes ended by the flag invalidation.
+    pub external_wakeups: u64,
+    /// Wake-ups that landed before the release (residual spin followed).
+    pub early_wakeups: u64,
+    /// Wake-ups that landed after the release (the CPU came back up late;
+    /// overprediction or external-only wake-up).
+    pub late_wakeups: u64,
+    /// Spurious (injected) wake-ups taken while sleeping (§3.3.1's false
+    /// wake-up; the residual spin absorbs them).
+    pub false_wakeups: u64,
+    /// §3.3.3 disable bits set during the run.
+    pub cutoff_disables: u64,
+    /// Predictor updates skipped by the §3.4.2 underprediction filter.
+    pub updates_skipped: u64,
+}
+
+impl BarrierEventCounts {
+    /// Total sleep episodes across all states.
+    pub fn total_sleeps(&self) -> u64 {
+        self.sleeps_by_state.iter().sum()
+    }
+}
+
+/// One released barrier instance (the raw material of Figure 3 and of the
+/// oracle tables).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InstanceRecord {
+    /// The barrier site's PC.
+    pub pc: u64,
+    /// The site's dynamic instance index.
+    pub site_instance: u64,
+    /// Global episode index within the trace.
+    pub episode: usize,
+    /// Absolute release time.
+    pub release_time: Cycles,
+    /// Measured barrier interval time.
+    pub bit: Cycles,
+    /// The observed thread's compute time in this interval (trace value).
+    pub observed_compute: Cycles,
+    /// The observed thread's stall: `bit − observed_compute` (saturating).
+    pub observed_bst: Cycles,
+}
+
+/// The complete result of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Application name.
+    pub app: String,
+    /// Configuration name ("Baseline", "Thrifty", …).
+    pub config: String,
+    /// Processor/thread count.
+    pub threads: usize,
+    /// Wall-clock execution time.
+    pub wall_time: Cycles,
+    /// Per-CPU energy/time ledgers.
+    pub ledger: MachineLedger,
+    /// Barrier event counts.
+    pub counts: BarrierEventCounts,
+    /// Relative BIT prediction error `|predicted − actual| / actual` over
+    /// all early arrivals that had a prediction.
+    pub prediction_error: OnlineStats,
+    /// Every released barrier instance.
+    pub instances: Vec<InstanceRecord>,
+    /// The thread whose compute/BST decomposition `instances` records.
+    pub observed_thread: usize,
+}
+
+impl RunReport {
+    /// Machine-wide energy per category, joules.
+    pub fn energy(&self) -> CategoryBreakdown {
+        self.ledger.energy()
+    }
+
+    /// Machine-wide CPU-time per category, cycles.
+    pub fn time(&self) -> CategoryBreakdown {
+        self.ledger.time()
+    }
+
+    /// Total energy, joules.
+    pub fn total_energy(&self) -> f64 {
+        self.ledger.total_energy()
+    }
+
+    /// Barrier imbalance: the fraction of accounted CPU time spent at
+    /// barriers (spinning, transitioning, or sleeping). For a Baseline run
+    /// this is exactly Table 2's metric (all barrier time is spin time).
+    pub fn barrier_imbalance(&self) -> f64 {
+        let t = self.time();
+        let barrier = t[EnergyCategory::Spin]
+            + t[EnergyCategory::Transition]
+            + t[EnergyCategory::Sleep];
+        let total = t.total();
+        if total == 0.0 {
+            0.0
+        } else {
+            barrier / total
+        }
+    }
+
+    /// Energy of this run normalized to a baseline run's total (the y-axis
+    /// of Figure 5).
+    pub fn energy_normalized_to(&self, baseline: &RunReport) -> CategoryBreakdown {
+        self.energy().normalized_to(baseline.total_energy())
+    }
+
+    /// Execution-time breakdown normalized to a baseline run's wall clock
+    /// (the y-axis of Figure 6). Per-category times are averaged over CPUs
+    /// so the bar height equals `wall_time / baseline.wall_time`.
+    pub fn time_normalized_to(&self, baseline: &RunReport) -> CategoryBreakdown {
+        let denom = baseline.wall_time.as_u64() as f64 * self.threads as f64;
+        self.time().normalized_to(denom)
+    }
+
+    /// Relative wall-clock slowdown vs a baseline run (positive = slower).
+    pub fn slowdown_vs(&self, baseline: &RunReport) -> f64 {
+        self.wall_time.as_u64() as f64 / baseline.wall_time.as_u64() as f64 - 1.0
+    }
+
+    /// Relative energy savings vs a baseline run (positive = saves).
+    pub fn energy_savings_vs(&self, baseline: &RunReport) -> f64 {
+        1.0 - self.total_energy() / baseline.total_energy()
+    }
+
+    /// Per-barrier-site statistics over the run's instances, ordered by
+    /// PC: the data behind the paper's per-barrier analyses (Figure 3's
+    /// stability claim, §5.2's Ocean discussion).
+    pub fn site_summaries(&self) -> Vec<SiteSummary> {
+        let mut by_pc: std::collections::BTreeMap<u64, (OnlineStats, OnlineStats)> =
+            std::collections::BTreeMap::new();
+        for inst in &self.instances {
+            let (bit, bst) = by_pc.entry(inst.pc).or_default();
+            bit.push(inst.bit.as_u64() as f64);
+            bst.push(inst.observed_bst.as_u64() as f64);
+        }
+        by_pc
+            .into_iter()
+            .map(|(pc, (bit, bst))| SiteSummary { pc, bit, bst })
+            .collect()
+    }
+}
+
+/// Per-site BIT/BST statistics (the observed thread's BST, as in Figure 3).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SiteSummary {
+    /// The barrier site's PC.
+    pub pc: u64,
+    /// Interval-time statistics across the site's dynamic instances.
+    pub bit: OnlineStats,
+    /// The observed thread's stall-time statistics at this site.
+    pub bst: OnlineStats,
+}
+
+impl SiteSummary {
+    /// Number of dynamic instances of this site.
+    pub fn instances(&self) -> u64 {
+        self.bit.count()
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let e = self.energy().fractions();
+        write!(
+            f,
+            "{}/{}: wall {} energy {:.3}J (compute {:.1}% spin {:.1}% trans {:.1}% sleep {:.1}%), imbalance {:.2}%",
+            self.app,
+            self.config,
+            self.wall_time,
+            self.total_energy(),
+            e[EnergyCategory::Compute] * 100.0,
+            e[EnergyCategory::Spin] * 100.0,
+            e[EnergyCategory::Transition] * 100.0,
+            e[EnergyCategory::Sleep] * 100.0,
+            self.barrier_imbalance() * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(compute_j: f64, spin_j: f64, wall: u64) -> RunReport {
+        let mut ledger = MachineLedger::new(2);
+        for cpu in 0..2 {
+            ledger.cpu_mut(cpu).record(
+                EnergyCategory::Compute,
+                Cycles::new(wall * 3 / 4),
+                compute_j,
+            );
+            ledger
+                .cpu_mut(cpu)
+                .record(EnergyCategory::Spin, Cycles::new(wall / 4), spin_j);
+        }
+        RunReport {
+            app: "X".into(),
+            config: "Baseline".into(),
+            threads: 2,
+            wall_time: Cycles::new(wall),
+            ledger,
+            counts: BarrierEventCounts::default(),
+            prediction_error: OnlineStats::new(),
+            instances: Vec::new(),
+            observed_thread: 0,
+        }
+    }
+
+    #[test]
+    fn imbalance_is_barrier_time_fraction() {
+        let r = report(10.0, 10.0, 1000);
+        assert!((r.barrier_imbalance() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization_against_self_is_unity_time() {
+        let r = report(10.0, 10.0, 1000);
+        let t = r.time_normalized_to(&r);
+        assert!((t.total() - 1.0).abs() < 1e-9);
+        assert!((r.slowdown_vs(&r)).abs() < 1e-12);
+        assert!((r.energy_savings_vs(&r)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn savings_and_slowdown_signs() {
+        let base = report(10.0, 10.0, 1000);
+        let better = report(10.0, 1.0, 1010);
+        assert!(better.energy_savings_vs(&base) > 0.0);
+        assert!(better.slowdown_vs(&base) > 0.0);
+        assert!((better.slowdown_vs(&base) - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn site_summaries_group_by_pc() {
+        let mut r = report(1.0, 1.0, 100);
+        for (i, (pc, bit, bst)) in [(7u64, 100u64, 30u64), (7, 120, 10), (9, 500, 50)]
+            .into_iter()
+            .enumerate()
+        {
+            r.instances.push(InstanceRecord {
+                pc,
+                site_instance: i as u64,
+                episode: i,
+                release_time: Cycles::new((i as u64 + 1) * 1000),
+                bit: Cycles::new(bit),
+                observed_compute: Cycles::new(bit - bst),
+                observed_bst: Cycles::new(bst),
+            });
+        }
+        let sites = r.site_summaries();
+        assert_eq!(sites.len(), 2);
+        assert_eq!(sites[0].pc, 7);
+        assert_eq!(sites[0].instances(), 2);
+        assert!((sites[0].bit.mean() - 110.0).abs() < 1e-9);
+        assert!((sites[0].bst.mean() - 20.0).abs() < 1e-9);
+        assert_eq!(sites[1].pc, 9);
+        assert_eq!(sites[1].instances(), 1);
+    }
+
+    #[test]
+    fn counts_total_sleeps() {
+        let mut c = BarrierEventCounts::default();
+        c.sleeps_by_state = vec![3, 0, 4];
+        assert_eq!(c.total_sleeps(), 7);
+    }
+
+    #[test]
+    fn display_has_key_fields() {
+        let s = report(1.0, 1.0, 100).to_string();
+        assert!(s.contains("Baseline"));
+        assert!(s.contains("imbalance"));
+    }
+}

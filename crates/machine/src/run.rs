@@ -1,0 +1,141 @@
+//! High-level experiment entry points.
+//!
+//! These wrap [`crate::sim::Simulator`] with the two-pass protocol the
+//! oracle configurations need: Oracle-Halt and Ideal require *perfect* BIT
+//! prediction, which is obtained by first running Baseline on the same
+//! deterministic trace (barrier timing under Baseline equals the timing a
+//! perfectly-predicting sleeper would see, because hybrid wake-up with an
+//! exact prediction departs at the release, just like a spinner) and
+//! recording every instance's measured BIT.
+
+use crate::report::RunReport;
+use crate::sim::{simulate, SimulatorConfig};
+use tb_core::{AlgorithmConfig, BarrierPc, RecordedBitOracle, SystemConfig};
+use tb_workloads::{AppSpec, AppTrace};
+
+/// Default machine size (Table 1: 64 nodes) and seed used by the paper
+/// reproduction binaries.
+pub const PAPER_SEED: u64 = 0x7B41;
+
+/// Builds the oracle table from a Baseline run's instance records.
+pub fn oracle_from_baseline(baseline: &RunReport) -> RecordedBitOracle {
+    let mut oracle = RecordedBitOracle::new();
+    for inst in &baseline.instances {
+        oracle.record(BarrierPc::new(inst.pc), inst.site_instance, inst.bit);
+    }
+    oracle
+}
+
+/// Runs `trace` under a named system configuration, performing the Baseline
+/// pre-run when the configuration needs an oracle.
+pub fn run_trace(trace: &AppTrace, threads_nodes: u16, sys: SystemConfig) -> RunReport {
+    let cfg = SimulatorConfig::paper_with_nodes(sys.name(), threads_nodes);
+    let oracle = if sys.needs_oracle() {
+        let base_cfg = SimulatorConfig::paper_with_nodes("Baseline", threads_nodes);
+        let baseline = simulate(base_cfg, trace, AlgorithmConfig::baseline(), None);
+        Some(oracle_from_baseline(&baseline))
+    } else {
+        None
+    };
+    simulate(cfg, trace, sys.algorithm_config(), oracle)
+}
+
+/// Runs `trace` under an explicit algorithm configuration (ablations),
+/// optionally with an oracle table.
+pub fn run_trace_with(
+    trace: &AppTrace,
+    threads_nodes: u16,
+    name: &str,
+    algo: AlgorithmConfig,
+    oracle: Option<RecordedBitOracle>,
+) -> RunReport {
+    let cfg = SimulatorConfig::paper_with_nodes(name, threads_nodes);
+    simulate(cfg, trace, algo, oracle)
+}
+
+/// Generates `app`'s trace for `threads` processors and runs it under
+/// `sys`.
+///
+/// # Panics
+///
+/// Panics if `threads` is not a power of two in `2..=64` (machine sizes
+/// follow the hypercube constraint).
+pub fn run_app(app: &AppSpec, threads: u16, seed: u64, sys: SystemConfig) -> RunReport {
+    let trace = app.generate(threads as usize, seed);
+    run_trace(&trace, threads, sys)
+}
+
+/// Runs one application under all five configurations (the column group of
+/// Figures 5 and 6), sharing a single trace and a single Baseline run.
+pub fn run_config_matrix(app: &AppSpec, threads: u16, seed: u64) -> Vec<RunReport> {
+    let trace = app.generate(threads as usize, seed);
+    let baseline = run_trace(&trace, threads, SystemConfig::Baseline);
+    let oracle = oracle_from_baseline(&baseline);
+    let mut out = vec![baseline];
+    for sys in [
+        SystemConfig::ThriftyHalt,
+        SystemConfig::OracleHalt,
+        SystemConfig::Thrifty,
+        SystemConfig::Ideal,
+    ] {
+        let cfg = SimulatorConfig::paper_with_nodes(sys.name(), threads);
+        let oracle_arg = sys.needs_oracle().then(|| oracle.clone());
+        out.push(simulate(cfg, &trace, sys.algorithm_config(), oracle_arg));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tb_core::SystemConfig;
+    use tb_workloads::AppSpec;
+
+    #[test]
+    fn run_app_round_trips() {
+        let app = AppSpec::by_name("Radiosity").unwrap();
+        let r = run_app(&app, 16, 3, SystemConfig::Baseline);
+        assert_eq!(r.app, "Radiosity");
+        assert_eq!(r.config, "Baseline");
+        assert_eq!(r.threads, 16);
+        assert!(r.counts.episodes > 0);
+    }
+
+    #[test]
+    fn oracle_table_covers_every_instance() {
+        let app = AppSpec::by_name("Radiosity").unwrap();
+        let trace = app.generate(16, 3);
+        let baseline = run_trace(&trace, 16, SystemConfig::Baseline);
+        let oracle = oracle_from_baseline(&baseline);
+        assert_eq!(oracle.len(), baseline.instances.len());
+    }
+
+    #[test]
+    fn matrix_produces_five_reports_in_figure_order() {
+        let app = AppSpec::by_name("Radiosity").unwrap();
+        let reports = run_config_matrix(&app, 16, 3);
+        let names: Vec<&str> = reports.iter().map(|r| r.config.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["Baseline", "Thrifty-Halt", "Oracle-Halt", "Thrifty", "Ideal"]
+        );
+        // All ran the same trace.
+        assert!(reports
+            .iter()
+            .all(|r| r.counts.episodes == reports[0].counts.episodes));
+    }
+
+    #[test]
+    fn oracle_halt_never_slower_than_noticeable() {
+        let app = AppSpec::by_name("Water-Sp").unwrap();
+        let trace = app.generate(16, 5);
+        let base = run_trace(&trace, 16, SystemConfig::Baseline);
+        let oracle = run_trace(&trace, 16, SystemConfig::OracleHalt);
+        assert!(
+            oracle.slowdown_vs(&base) < 0.01,
+            "Oracle-Halt should not degrade performance (got {})",
+            oracle.slowdown_vs(&base)
+        );
+        assert!(oracle.energy_savings_vs(&base) > 0.0);
+    }
+}

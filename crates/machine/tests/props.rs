@@ -1,0 +1,152 @@
+//! Property-based tests of the full machine simulation: conservation and
+//! protocol invariants must hold for arbitrary (small) workloads.
+
+use proptest::prelude::*;
+use tb_core::{AlgorithmConfig, SystemConfig};
+use tb_energy::EnergyCategory;
+use tb_machine::run::{run_trace, run_trace_with};
+use tb_machine::RunReport;
+use tb_sim::Cycles;
+use tb_workloads::{AppSpec, PhaseSpec, Variability};
+
+fn arb_app() -> impl Strategy<Value = AppSpec> {
+    (
+        1usize..3,      // loop phases
+        2u32..8,        // iterations
+        500u64..8_000,  // base interval µs
+        0.05f64..0.40,  // imbalance
+        0u32..64,       // dirty lines
+    )
+        .prop_map(|(phases, iterations, base_us, target, dirty)| AppSpec {
+            name: "MachineProp".into(),
+            problem_size: "prop".into(),
+            target_imbalance: target,
+            setup_phases: vec![],
+            loop_phases: (0..phases)
+                .map(|i| {
+                    PhaseSpec::new(
+                        0x500 + i as u64,
+                        Cycles::from_micros(base_us + 300 * i as u64),
+                        dirty,
+                        Variability::Stable { jitter: 0.02 },
+                    )
+                })
+                .collect(),
+            iterations,
+            skew: 2.0,
+        })
+}
+
+fn check_conservation(r: &RunReport) -> Result<(), TestCaseError> {
+    // Every episode produced exactly one instance record, in order, with
+    // strictly increasing release times.
+    prop_assert_eq!(r.instances.len() as u64, r.counts.episodes);
+    for (i, inst) in r.instances.iter().enumerate() {
+        prop_assert_eq!(inst.episode, i);
+        prop_assert_eq!(inst.bit, inst.observed_compute + inst.observed_bst);
+    }
+    for w in r.instances.windows(2) {
+        prop_assert!(w[0].release_time < w[1].release_time);
+    }
+    // The BRTS induction telescopes: the published BITs sum to the final
+    // release (up to the flag-flip latency of each episode).
+    let bit_sum: Cycles = r.instances.iter().map(|i| i.bit).sum();
+    let last_release = r.instances.last().unwrap().release_time;
+    let slack = Cycles::from_micros(2 * r.instances.len() as u64);
+    prop_assert!(bit_sum <= last_release);
+    prop_assert!(last_release.saturating_sub(bit_sum) < slack);
+    // No CPU accounts more than the wall clock.
+    let wall = r.wall_time.as_u64() as f64;
+    for cpu in r.ledger.iter() {
+        prop_assert!(cpu.total_time() <= wall * 1.001);
+    }
+    // Every sleep ends in exactly one wake-up.
+    prop_assert_eq!(
+        r.counts.internal_wakeups + r.counts.external_wakeups,
+        r.counts.total_sleeps()
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Conservation laws hold for every configuration on arbitrary
+    /// workloads, and the configurations keep their defining properties.
+    #[test]
+    fn conservation_across_configs(app in arb_app(), seed in any::<u64>()) {
+        let trace = app.generate(8, seed);
+        let base = run_trace(&trace, 8, SystemConfig::Baseline);
+        check_conservation(&base)?;
+        prop_assert_eq!(base.counts.total_sleeps(), 0);
+        prop_assert_eq!(base.time()[EnergyCategory::Sleep], 0.0);
+
+        let thrifty = run_trace(&trace, 8, SystemConfig::Thrifty);
+        check_conservation(&thrifty)?;
+        prop_assert_eq!(base.counts.episodes, thrifty.counts.episodes);
+
+        let ideal = run_trace(&trace, 8, SystemConfig::Ideal);
+        check_conservation(&ideal)?;
+        // Ideal never mispredicts: it must not lose meaningful time.
+        prop_assert!(
+            ideal.slowdown_vs(&base) < 0.02,
+            "Ideal slowdown {}",
+            ideal.slowdown_vs(&base)
+        );
+        // Thrifty never uses more energy than baseline by more than a
+        // small guard (mispredictions can cost a little).
+        prop_assert!(
+            thrifty.total_energy() <= base.total_energy() * 1.05,
+            "thrifty burned {} vs baseline {}",
+            thrifty.total_energy(),
+            base.total_energy()
+        );
+        // And Ideal lower-bounds Thrifty (small tolerance for divergent
+        // wake-up timing).
+        prop_assert!(ideal.total_energy() <= thrifty.total_energy() * 1.02);
+    }
+
+    /// Determinism: identical inputs give bit-identical reports.
+    #[test]
+    fn runs_are_deterministic(app in arb_app(), seed in any::<u64>()) {
+        let trace = app.generate(8, seed);
+        let a = run_trace(&trace, 8, SystemConfig::Thrifty);
+        let b = run_trace(&trace, 8, SystemConfig::Thrifty);
+        prop_assert_eq!(a.wall_time, b.wall_time);
+        prop_assert!((a.total_energy() - b.total_energy()).abs() < 1e-12);
+        prop_assert_eq!(a.counts.internal_wakeups, b.counts.internal_wakeups);
+        prop_assert_eq!(a.counts.external_wakeups, b.counts.external_wakeups);
+        prop_assert_eq!(a.instances, b.instances);
+    }
+
+    /// The measured baseline imbalance tracks the trace's analytic value
+    /// for any workload (barrier overheads are second-order).
+    #[test]
+    fn simulated_imbalance_tracks_analytic(app in arb_app(), seed in any::<u64>()) {
+        let trace = app.generate(8, seed);
+        let base = run_trace(&trace, 8, SystemConfig::Baseline);
+        prop_assert!(
+            (base.barrier_imbalance() - trace.analytic_imbalance()).abs() < 0.03,
+            "simulated {} vs analytic {}",
+            base.barrier_imbalance(),
+            trace.analytic_imbalance()
+        );
+    }
+
+    /// Disabling the sleep table's deep states can only reduce flush
+    /// counts, and Halt-only never flushes.
+    #[test]
+    fn halt_only_never_flushes(app in arb_app(), seed in any::<u64>()) {
+        let trace = app.generate(8, seed);
+        let halt = run_trace_with(
+            &trace,
+            8,
+            "Thrifty-Halt",
+            AlgorithmConfig::thrifty_halt(),
+            None,
+        );
+        prop_assert_eq!(halt.counts.flushes, 0);
+        prop_assert_eq!(halt.counts.flushed_lines, 0);
+        check_conservation(&halt)?;
+    }
+}

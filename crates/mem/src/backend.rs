@@ -1,0 +1,110 @@
+//! A unified front over the two coherence substrates, so the machine
+//! simulator runs unchanged on the paper's directory CC-NUMA or on the
+//! snooping-bus SMP.
+
+use crate::addr::{Addr, MemLayout, NodeId};
+use crate::bus::{BusConfig, BusMemorySystem};
+use crate::system::{Access, FlushOutcome, MachineConfig, MemStats, MemorySystem};
+use std::fmt;
+use tb_sim::Cycles;
+
+/// Either coherent memory substrate behind one API.
+#[derive(Debug)]
+pub enum CoherentMemory {
+    /// The paper's directory-based CC-NUMA (Table 1).
+    Directory(MemorySystem),
+    /// A snooping-bus SMP.
+    Bus(BusMemorySystem),
+}
+
+impl CoherentMemory {
+    /// Builds the directory machine.
+    pub fn directory(cfg: MachineConfig) -> Self {
+        CoherentMemory::Directory(MemorySystem::new(cfg))
+    }
+
+    /// Builds the bus SMP.
+    pub fn bus(cfg: BusConfig) -> Self {
+        CoherentMemory::Bus(BusMemorySystem::new(cfg))
+    }
+
+    /// The address layout.
+    pub fn layout(&self) -> &MemLayout {
+        match self {
+            CoherentMemory::Directory(m) => m.layout(),
+            CoherentMemory::Bus(m) => m.layout(),
+        }
+    }
+
+    /// Performs a read.
+    pub fn read(&mut self, node: NodeId, addr: Addr, now: Cycles) -> Access {
+        match self {
+            CoherentMemory::Directory(m) => m.read(node, addr, now),
+            CoherentMemory::Bus(m) => m.read(node, addr, now),
+        }
+    }
+
+    /// Performs a write.
+    pub fn write(&mut self, node: NodeId, addr: Addr, now: Cycles) -> Access {
+        match self {
+            CoherentMemory::Directory(m) => m.write(node, addr, now),
+            CoherentMemory::Bus(m) => m.write(node, addr, now),
+        }
+    }
+
+    /// Flushes a node's dirty shared lines.
+    pub fn flush_dirty_shared(&mut self, node: NodeId, now: Cycles) -> FlushOutcome {
+        match self {
+            CoherentMemory::Directory(m) => m.flush_dirty_shared(node, now),
+            CoherentMemory::Bus(m) => m.flush_dirty_shared(node, now),
+        }
+    }
+
+    /// Event counters.
+    pub fn stats(&self) -> &MemStats {
+        match self {
+            CoherentMemory::Directory(m) => m.stats(),
+            CoherentMemory::Bus(m) => m.stats(),
+        }
+    }
+}
+
+impl fmt::Display for CoherentMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoherentMemory::Directory(m) => write!(f, "directory CC-NUMA: {}", m.config().nodes),
+            CoherentMemory::Bus(m) => write!(f, "{}", m.config()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_backends_answer_the_same_api() {
+        let mut backends = [
+            CoherentMemory::directory(MachineConfig::table1_with_nodes(4)),
+            CoherentMemory::bus(BusConfig::smp(4)),
+        ];
+        for m in &mut backends {
+            let a = m.layout().shared_addr(0, 0);
+            let r = m.read(NodeId::new(1), a, Cycles::ZERO);
+            assert!(r.completion > Cycles::ZERO);
+            let w = m.write(NodeId::new(2), a, Cycles::from_micros(1));
+            assert_eq!(w.invalidations.len(), 1, "{m}");
+            let f = m.flush_dirty_shared(NodeId::new(2), Cycles::from_micros(2));
+            assert_eq!(f.lines, 1);
+            assert!(m.stats().reads >= 1);
+        }
+    }
+
+    #[test]
+    fn display_distinguishes_backends() {
+        let d = CoherentMemory::directory(MachineConfig::table1_with_nodes(4));
+        let b = CoherentMemory::bus(BusConfig::smp(4));
+        assert!(d.to_string().contains("directory"));
+        assert!(b.to_string().contains("bus"));
+    }
+}

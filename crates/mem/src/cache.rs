@@ -1,0 +1,395 @@
+//! Set-associative write-back caches with LRU replacement.
+//!
+//! Table 1 of the paper: 16 kB 2-way L1 and 64 kB 8-way L2, both with 64 B
+//! lines. The caches are deliberately small "to capture the behavior that
+//! real-sized input data would exhibit on an actual machine with larger
+//! caches", following the SPLASH-2 methodology the paper cites.
+//!
+//! The cache stores coherence state only — the machine layer tracks logical
+//! values (such as the barrier flag's sense) separately, so no data payload
+//! is simulated. [`Cache::dirty_lines`] enumerates Modified lines, which is
+//! what a CPU must flush before entering a non-snoopable sleep state.
+
+use crate::addr::{LineAddr, LINE_BYTES};
+use crate::mesi::LineState;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    size_bytes: u64,
+    associativity: u32,
+}
+
+impl CacheConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the size is a positive multiple of
+    /// `associativity * 64 B` and the resulting set count is a power of two.
+    pub fn new(size_bytes: u64, associativity: u32) -> Self {
+        assert!(associativity > 0, "associativity must be positive");
+        assert!(
+            size_bytes > 0 && size_bytes % (LINE_BYTES * associativity as u64) == 0,
+            "cache size must be a positive multiple of associativity * line size"
+        );
+        let sets = size_bytes / (LINE_BYTES * associativity as u64);
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        CacheConfig {
+            size_bytes,
+            associativity,
+        }
+    }
+
+    /// Table 1 L1: 16 kB, 2-way, 64 B lines.
+    pub fn table1_l1() -> Self {
+        CacheConfig::new(16 * 1024, 2)
+    }
+
+    /// Table 1 L2: 64 kB, 8-way, 64 B lines.
+    pub fn table1_l2() -> Self {
+        CacheConfig::new(64 * 1024, 8)
+    }
+
+    /// Total capacity in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.size_bytes
+    }
+
+    /// Ways per set.
+    pub fn associativity(&self) -> u32 {
+        self.associativity
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / (LINE_BYTES * self.associativity as u64)
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Way {
+    line: LineAddr,
+    state: LineState,
+    last_used: u64,
+}
+
+/// A single cache level.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Vec<Way>>,
+    tick: u64,
+}
+
+/// A line pushed out of the cache by [`Cache::insert`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Evicted {
+    /// The displaced line.
+    pub line: LineAddr,
+    /// Its state at eviction; `Modified` means a write-back is required.
+    pub state: LineState,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = (0..config.sets()).map(|_| Vec::new()).collect();
+        Cache {
+            config,
+            sets,
+            tick: 0,
+        }
+    }
+
+    /// The cache's geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    fn set_index(&self, line: LineAddr) -> usize {
+        // Mix the high bits in so private-region lines (which share high
+        // tag bits) spread across sets.
+        let raw = line.as_u64();
+        let mixed = raw ^ (raw >> 32);
+        (mixed % self.config.sets()) as usize
+    }
+
+    /// The state of `line`, updating LRU recency. `Invalid` if absent.
+    pub fn access(&mut self, line: LineAddr) -> LineState {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_index(line);
+        for way in &mut self.sets[set] {
+            if way.line == line {
+                way.last_used = tick;
+                return way.state;
+            }
+        }
+        LineState::Invalid
+    }
+
+    /// The state of `line` without touching LRU state (a coherence probe).
+    pub fn probe(&self, line: LineAddr) -> LineState {
+        let set = self.set_index(line);
+        self.sets[set]
+            .iter()
+            .find(|w| w.line == line)
+            .map(|w| w.state)
+            .unwrap_or(LineState::Invalid)
+    }
+
+    /// Inserts (or updates) `line` with `state`, evicting the LRU way if
+    /// the set is full. Returns the evicted line, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is `Invalid` — use [`Cache::invalidate`] instead.
+    pub fn insert(&mut self, line: LineAddr, state: LineState) -> Option<Evicted> {
+        assert!(state.is_valid(), "cannot insert a line in Invalid state");
+        self.tick += 1;
+        let tick = self.tick;
+        let set_idx = self.set_index(line);
+        let assoc = self.config.associativity as usize;
+        let set = &mut self.sets[set_idx];
+        if let Some(way) = set.iter_mut().find(|w| w.line == line) {
+            way.state = state;
+            way.last_used = tick;
+            return None;
+        }
+        if set.len() < assoc {
+            set.push(Way {
+                line,
+                state,
+                last_used: tick,
+            });
+            return None;
+        }
+        let victim_idx = set
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, w)| w.last_used)
+            .map(|(i, _)| i)
+            .expect("full set is non-empty");
+        let victim = &mut set[victim_idx];
+        let evicted = Evicted {
+            line: victim.line,
+            state: victim.state,
+        };
+        *victim = Way {
+            line,
+            state,
+            last_used: tick,
+        };
+        Some(evicted)
+    }
+
+    /// Changes the state of a resident line in place; returns `false` if
+    /// the line is absent.
+    pub fn set_state(&mut self, line: LineAddr, state: LineState) -> bool {
+        assert!(state.is_valid(), "use invalidate to drop a line");
+        let set = self.set_index(line);
+        if let Some(way) = self.sets[set].iter_mut().find(|w| w.line == line) {
+            way.state = state;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes `line`; returns its prior state if it was present.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<LineState> {
+        let set = self.set_index(line);
+        let pos = self.sets[set].iter().position(|w| w.line == line)?;
+        Some(self.sets[set].swap_remove(pos).state)
+    }
+
+    /// All lines currently in `Modified` state — what a deep-sleep entry
+    /// must flush.
+    pub fn dirty_lines(&self) -> Vec<LineAddr> {
+        let mut out: Vec<LineAddr> = self
+            .sets
+            .iter()
+            .flatten()
+            .filter(|w| w.state.is_dirty())
+            .map(|w| w.line)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// All valid lines, for invariant checks.
+    pub fn resident_lines(&self) -> Vec<(LineAddr, LineState)> {
+        let mut out: Vec<(LineAddr, LineState)> = self
+            .sets
+            .iter()
+            .flatten()
+            .map(|w| (w.line, w.state))
+            .collect();
+        out.sort_unstable_by_key(|(l, _)| *l);
+        out
+    }
+
+    /// Number of valid lines resident.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+
+    /// `true` when the cache holds no lines.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Display for Cache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}B {}-way: {} lines resident ({} dirty)",
+            self.config.size_bytes,
+            self.config.associativity,
+            self.len(),
+            self.dirty_lines().len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Addr;
+
+    fn line(n: u64) -> LineAddr {
+        Addr::new(n * LINE_BYTES).line()
+    }
+
+    #[test]
+    fn table1_geometries() {
+        let l1 = CacheConfig::table1_l1();
+        assert_eq!(l1.sets(), 128);
+        assert_eq!(l1.associativity(), 2);
+        let l2 = CacheConfig::table1_l2();
+        assert_eq!(l2.sets(), 128);
+        assert_eq!(l2.associativity(), 8);
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = Cache::new(CacheConfig::table1_l1());
+        assert_eq!(c.access(line(1)), LineState::Invalid);
+        assert!(c.insert(line(1), LineState::Shared).is_none());
+        assert_eq!(c.access(line(1)), LineState::Shared);
+        assert_eq!(c.probe(line(1)), LineState::Shared);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        // 2-way: fill a set with lines A and B, touch A, insert C in the
+        // same set: B must be the victim.
+        let cfg = CacheConfig::new(2 * 64 * 2, 2); // 2 sets, 2-way
+        let mut c = Cache::new(cfg);
+        let sets = cfg.sets();
+        // Lines mapping to set 0 under the mixed index: choose multiples of sets.
+        let a = line(0);
+        let b = line(sets);
+        let x = line(2 * sets);
+        c.insert(a, LineState::Shared);
+        c.insert(b, LineState::Shared);
+        c.access(a); // make B the LRU
+        let ev = c.insert(x, LineState::Shared).expect("set was full");
+        assert_eq!(ev.line, b);
+        assert_eq!(c.probe(a), LineState::Shared);
+        assert_eq!(c.probe(b), LineState::Invalid);
+    }
+
+    #[test]
+    fn dirty_eviction_reports_modified() {
+        let cfg = CacheConfig::new(64 * 2, 2); // 1 set, 2-way
+        let mut c = Cache::new(cfg);
+        c.insert(line(0), LineState::Modified);
+        c.insert(line(1), LineState::Shared);
+        let ev = c.insert(line(2), LineState::Exclusive).unwrap();
+        assert_eq!(ev.line, line(0));
+        assert!(ev.state.is_dirty());
+    }
+
+    #[test]
+    fn reinsert_updates_in_place() {
+        let mut c = Cache::new(CacheConfig::table1_l1());
+        c.insert(line(9), LineState::Exclusive);
+        assert!(c.insert(line(9), LineState::Modified).is_none());
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.probe(line(9)), LineState::Modified);
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = Cache::new(CacheConfig::table1_l1());
+        c.insert(line(4), LineState::Shared);
+        assert_eq!(c.invalidate(line(4)), Some(LineState::Shared));
+        assert_eq!(c.invalidate(line(4)), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn set_state_transitions() {
+        let mut c = Cache::new(CacheConfig::table1_l1());
+        c.insert(line(7), LineState::Exclusive);
+        assert!(c.set_state(line(7), LineState::Modified));
+        assert_eq!(c.probe(line(7)), LineState::Modified);
+        assert!(!c.set_state(line(8), LineState::Shared));
+    }
+
+    #[test]
+    fn dirty_lines_enumerates_modified_only() {
+        let mut c = Cache::new(CacheConfig::table1_l2());
+        c.insert(line(1), LineState::Modified);
+        c.insert(line(2), LineState::Shared);
+        c.insert(line(3), LineState::Modified);
+        assert_eq!(c.dirty_lines(), vec![line(1), line(3)]);
+    }
+
+    #[test]
+    fn probe_does_not_perturb_lru() {
+        let cfg = CacheConfig::new(64 * 2, 2); // 1 set, 2-way
+        let mut c = Cache::new(cfg);
+        c.insert(line(0), LineState::Shared);
+        c.insert(line(1), LineState::Shared);
+        c.probe(line(0)); // must NOT refresh line 0
+        let ev = c.insert(line(2), LineState::Shared).unwrap();
+        assert_eq!(ev.line, line(0), "probe must not count as a use");
+    }
+
+    #[test]
+    #[should_panic(expected = "Invalid state")]
+    fn inserting_invalid_panics() {
+        Cache::new(CacheConfig::table1_l1()).insert(line(0), LineState::Invalid);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_rejected() {
+        let _ = CacheConfig::new(3 * 64 * 2, 2);
+    }
+
+    #[test]
+    fn capacity_is_respected() {
+        let cfg = CacheConfig::table1_l1();
+        let mut c = Cache::new(cfg);
+        let capacity = (cfg.size_bytes() / LINE_BYTES) as usize;
+        for i in 0..10_000 {
+            c.insert(line(i), LineState::Shared);
+        }
+        assert!(c.len() <= capacity);
+    }
+
+    #[test]
+    fn display_mentions_dirty_count() {
+        let mut c = Cache::new(CacheConfig::table1_l1());
+        c.insert(line(0), LineState::Modified);
+        assert!(c.to_string().contains("1 dirty"));
+    }
+}

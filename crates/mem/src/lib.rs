@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+//! CC-NUMA memory substrate for the thrifty-barrier reproduction.
+//!
+//! The paper evaluates the thrifty barrier on a 64-node CC-NUMA machine
+//! with release consistency and a DASH-style directory coherence protocol
+//! (Table 1). This crate implements that substrate:
+//!
+//! * [`addr`] — byte addresses, cache lines, pages, and the NUMA placement
+//!   policy (shared pages round-robin across nodes, private pages local).
+//! * [`mesi`] — MESI line states, the full-map directory state, and sharer
+//!   bit-sets.
+//! * [`cache`] — set-associative write-back caches with LRU replacement and
+//!   dirty-line enumeration (needed to price deep-sleep cache flushes).
+//! * [`network`] — the hypercube interconnect latency model with Table 1's
+//!   router and marshaling latencies.
+//! * [`system`] — the coherent [`MemorySystem`]: per-node two-level cache
+//!   hierarchies in front of directory-controlled home memories. Accesses
+//!   are resolved transactionally: each returns its completion time and the
+//!   set of invalidation messages it caused, with per-destination delivery
+//!   times. Those invalidations are precisely the *external wake-up* signals
+//!   of the thrifty barrier (§3.3.1).
+//!
+//! # Examples
+//!
+//! ```
+//! use tb_mem::{MachineConfig, MemorySystem, NodeId};
+//! use tb_sim::Cycles;
+//!
+//! let mut mem = MemorySystem::new(MachineConfig::table1());
+//! let flag = mem.layout().shared_addr(0, 0);
+//! // Two spinners pull the flag into their caches…
+//! mem.read(NodeId::new(1), flag, Cycles::ZERO);
+//! mem.read(NodeId::new(2), flag, Cycles::ZERO);
+//! // …and the releaser's write invalidates both copies.
+//! let w = mem.write(NodeId::new(0), flag, Cycles::from_micros(1));
+//! assert_eq!(w.invalidations.len(), 2);
+//! ```
+
+pub mod addr;
+pub mod backend;
+pub mod bus;
+pub mod cache;
+pub mod mesi;
+pub mod network;
+pub mod system;
+
+pub use addr::{Addr, LineAddr, MemLayout, NodeId};
+pub use backend::CoherentMemory;
+pub use bus::{BusConfig, BusMemorySystem};
+pub use cache::{Cache, CacheConfig};
+pub use mesi::{DirState, LineState, SharerSet};
+pub use network::Hypercube;
+pub use system::{
+    Access, AccessClass, FlushOutcome, Invalidation, MachineConfig, MemStats, MemorySystem,
+};

@@ -1,0 +1,259 @@
+//! MESI cache-line states, directory states, and sharer bit-sets.
+//!
+//! The coherence protocol follows the DASH lineage the paper cites: an
+//! invalidation-based MESI protocol with a full-map directory at each line's
+//! home node. With at most 64 nodes (Table 1), a sharer set fits in one
+//! 64-bit word.
+
+use crate::addr::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// State of a line in a processor's cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LineState {
+    /// Dirty, exclusive to this cache.
+    Modified,
+    /// Clean, exclusive to this cache.
+    Exclusive,
+    /// Clean, possibly in other caches too.
+    Shared,
+    /// Not present / invalidated.
+    Invalid,
+}
+
+impl LineState {
+    /// `true` for states holding a valid copy.
+    pub fn is_valid(self) -> bool {
+        self != LineState::Invalid
+    }
+
+    /// `true` if the copy differs from memory and must be written back on
+    /// eviction or flush.
+    pub fn is_dirty(self) -> bool {
+        self == LineState::Modified
+    }
+
+    /// `true` if the cache may write without a coherence transaction.
+    pub fn can_write_silently(self) -> bool {
+        matches!(self, LineState::Modified | LineState::Exclusive)
+    }
+}
+
+impl fmt::Display for LineState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            LineState::Modified => 'M',
+            LineState::Exclusive => 'E',
+            LineState::Shared => 'S',
+            LineState::Invalid => 'I',
+        };
+        write!(f, "{c}")
+    }
+}
+
+/// A set of nodes, stored as a 64-bit full-map vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct SharerSet(u64);
+
+impl SharerSet {
+    /// The empty set.
+    pub const EMPTY: SharerSet = SharerSet(0);
+
+    /// A set containing only `node`.
+    pub fn singleton(node: NodeId) -> Self {
+        let mut s = SharerSet::EMPTY;
+        s.insert(node);
+        s
+    }
+
+    /// Adds a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node index is 64 or above.
+    pub fn insert(&mut self, node: NodeId) {
+        assert!(node.index() < 64, "sharer set holds at most 64 nodes");
+        self.0 |= 1 << node.index();
+    }
+
+    /// Removes a node; returns whether it was present.
+    pub fn remove(&mut self, node: NodeId) -> bool {
+        let bit = 1u64 << node.index();
+        let had = self.0 & bit != 0;
+        self.0 &= !bit;
+        had
+    }
+
+    /// Membership test.
+    pub fn contains(&self, node: NodeId) -> bool {
+        node.index() < 64 && self.0 & (1 << node.index()) != 0
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// `true` when no nodes are present.
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates members in increasing node order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        let bits = self.0;
+        (0..64u16).filter(move |i| bits & (1 << i) != 0).map(NodeId::new)
+    }
+
+    /// The set without `node` (used to exclude the requester when fanning
+    /// out invalidations).
+    pub fn without(mut self, node: NodeId) -> SharerSet {
+        self.remove(node);
+        self
+    }
+}
+
+impl FromIterator<NodeId> for SharerSet {
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
+        let mut s = SharerSet::EMPTY;
+        for n in iter {
+            s.insert(n);
+        }
+        s
+    }
+}
+
+impl fmt::Display for SharerSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, n) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{n}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Directory state of a line at its home node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DirState {
+    /// No cache holds the line; memory is the only copy.
+    Uncached,
+    /// One or more caches hold clean copies.
+    Shared(SharerSet),
+    /// Exactly one cache holds the line in M or E state.
+    Exclusive(NodeId),
+}
+
+impl DirState {
+    /// All caches currently holding the line.
+    pub fn holders(&self) -> SharerSet {
+        match *self {
+            DirState::Uncached => SharerSet::EMPTY,
+            DirState::Shared(s) => s,
+            DirState::Exclusive(n) => SharerSet::singleton(n),
+        }
+    }
+
+    /// `true` when some cache may hold a dirty copy.
+    pub fn maybe_dirty(&self) -> bool {
+        matches!(self, DirState::Exclusive(_))
+    }
+}
+
+impl Default for DirState {
+    fn default() -> Self {
+        DirState::Uncached
+    }
+}
+
+impl fmt::Display for DirState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DirState::Uncached => write!(f, "U"),
+            DirState::Shared(s) => write!(f, "S{s}"),
+            DirState::Exclusive(n) => write!(f, "E[{n}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_state_predicates() {
+        assert!(LineState::Modified.is_valid());
+        assert!(LineState::Modified.is_dirty());
+        assert!(LineState::Modified.can_write_silently());
+        assert!(LineState::Exclusive.can_write_silently());
+        assert!(!LineState::Exclusive.is_dirty());
+        assert!(!LineState::Shared.can_write_silently());
+        assert!(!LineState::Invalid.is_valid());
+    }
+
+    #[test]
+    fn sharer_set_basics() {
+        let mut s = SharerSet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(NodeId::new(0));
+        s.insert(NodeId::new(63));
+        s.insert(NodeId::new(63)); // idempotent
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(NodeId::new(0)));
+        assert!(s.contains(NodeId::new(63)));
+        assert!(!s.contains(NodeId::new(5)));
+        assert!(s.remove(NodeId::new(0)));
+        assert!(!s.remove(NodeId::new(0)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn sharer_set_iterates_in_order() {
+        let s: SharerSet = [5u16, 1, 9].into_iter().map(NodeId::new).collect();
+        let got: Vec<usize> = s.iter().map(|n| n.index()).collect();
+        assert_eq!(got, vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn without_excludes_requester() {
+        let s: SharerSet = (0..4).map(NodeId::new).collect();
+        let w = s.without(NodeId::new(2));
+        assert_eq!(w.len(), 3);
+        assert!(!w.contains(NodeId::new(2)));
+        assert!(s.contains(NodeId::new(2)), "original unchanged (Copy)");
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64")]
+    fn sharer_set_rejects_node_64() {
+        let mut s = SharerSet::EMPTY;
+        s.insert(NodeId::new(64));
+    }
+
+    #[test]
+    fn dir_state_holders() {
+        assert!(DirState::Uncached.holders().is_empty());
+        assert_eq!(
+            DirState::Exclusive(NodeId::new(7)).holders().len(),
+            1
+        );
+        let s: SharerSet = (0..3).map(NodeId::new).collect();
+        assert_eq!(DirState::Shared(s).holders(), s);
+        assert!(DirState::Exclusive(NodeId::new(0)).maybe_dirty());
+        assert!(!DirState::Shared(s).maybe_dirty());
+        assert_eq!(DirState::default(), DirState::Uncached);
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(LineState::Shared.to_string(), "S");
+        let s = SharerSet::singleton(NodeId::new(2));
+        assert_eq!(s.to_string(), "{n2}");
+        assert_eq!(DirState::Uncached.to_string(), "U");
+        assert_eq!(DirState::Exclusive(NodeId::new(1)).to_string(), "E[n1]");
+    }
+}

@@ -1,0 +1,232 @@
+//! Property-based tests of the coherence protocol: after any sequence of
+//! reads, writes, and flushes, the full-map directory and the caches must
+//! agree exactly.
+
+use proptest::prelude::*;
+use tb_mem::{Addr, DirState, LineState, MachineConfig, MemorySystem, NodeId};
+use tb_sim::Cycles;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Read { node: u16, addr_idx: usize },
+    Write { node: u16, addr_idx: usize },
+    Flush { node: u16 },
+}
+
+fn op_strategy(nodes: u16, addrs: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0..nodes, 0..addrs).prop_map(|(node, addr_idx)| Op::Read { node, addr_idx }),
+        4 => (0..nodes, 0..addrs).prop_map(|(node, addr_idx)| Op::Write { node, addr_idx }),
+        1 => (0..nodes).prop_map(|node| Op::Flush { node }),
+    ]
+}
+
+/// The address pool: a mix of shared lines (some colliding in cache sets)
+/// and per-node private lines.
+fn addr_pool(mem: &MemorySystem, nodes: u16) -> Vec<Addr> {
+    let mut pool = Vec::new();
+    for page in 0..6u64 {
+        for line in 0..4u64 {
+            pool.push(mem.layout().shared_addr(page, line * 64));
+        }
+    }
+    for n in 0..nodes.min(4) {
+        pool.push(mem.layout().private_addr(NodeId::new(n), 0, 0));
+    }
+    pool
+}
+
+/// Checks every protocol invariant for every address in the pool.
+fn check_invariants(mem: &MemorySystem, pool: &[Addr], nodes: u16) -> Result<(), TestCaseError> {
+    for &addr in pool {
+        let line = addr.line();
+        let dir = mem.dir_state(line);
+        let mut m_or_e_holders = 0;
+        for n in 0..nodes {
+            let node = NodeId::new(n);
+            let (l1, l2) = mem.probe_levels(node, line);
+            // Inclusion: a valid L1 line implies a valid L2 line.
+            if l1.is_valid() {
+                prop_assert!(
+                    l2.is_valid(),
+                    "inclusion violated at {node} for {line}: L1={l1} L2={l2}"
+                );
+            }
+            let held = l1.is_valid() || l2.is_valid();
+            let state = if l1.is_valid() { l1 } else { l2 };
+            match dir {
+                DirState::Uncached => {
+                    prop_assert!(!held, "{node} holds {line} but directory says Uncached");
+                }
+                DirState::Shared(s) => {
+                    prop_assert_eq!(
+                        held,
+                        s.contains(node),
+                        "sharer set mismatch at {} for {}",
+                        node,
+                        line
+                    );
+                    if held {
+                        prop_assert_eq!(
+                            state,
+                            LineState::Shared,
+                            "{} holds {} in {} under a Shared directory",
+                            node,
+                            line,
+                            state
+                        );
+                    }
+                }
+                DirState::Exclusive(owner) => {
+                    prop_assert_eq!(
+                        held,
+                        node == owner,
+                        "exclusivity mismatch at {} for {}",
+                        node,
+                        line
+                    );
+                }
+            }
+            if held && state.can_write_silently() {
+                m_or_e_holders += 1;
+            }
+        }
+        prop_assert!(
+            m_or_e_holders <= 1,
+            "multiple M/E holders of {line}"
+        );
+        if m_or_e_holders == 1 {
+            prop_assert!(
+                matches!(dir, DirState::Exclusive(_)),
+                "M/E holder of {line} but directory says {dir}"
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Directory and caches agree exactly after any operation sequence.
+    #[test]
+    fn coherence_invariants_hold(
+        ops in proptest::collection::vec(op_strategy(8, 28), 1..120),
+    ) {
+        let nodes = 8u16;
+        let mut mem = MemorySystem::new(MachineConfig::table1_with_nodes(nodes));
+        let pool = addr_pool(&mem, nodes);
+        let mut t = Cycles::ZERO;
+        for op in &ops {
+            t += Cycles::from_micros(1);
+            match *op {
+                Op::Read { node, addr_idx } => {
+                    let addr = pool[addr_idx % pool.len()];
+                    if addr.is_private() && addr.private_owner() != Some(NodeId::new(node)) {
+                        continue; // private data is only touched by its owner
+                    }
+                    mem.read(NodeId::new(node), addr, t);
+                }
+                Op::Write { node, addr_idx } => {
+                    let addr = pool[addr_idx % pool.len()];
+                    if addr.is_private() && addr.private_owner() != Some(NodeId::new(node)) {
+                        continue;
+                    }
+                    mem.write(NodeId::new(node), addr, t);
+                }
+                Op::Flush { node } => {
+                    mem.flush_dirty_shared(NodeId::new(node), t);
+                }
+            }
+            check_invariants(&mem, &pool, nodes)?;
+        }
+    }
+
+    /// A write's invalidation fan-out exactly matches the prior sharers,
+    /// and its completion is no earlier than any delivery.
+    #[test]
+    fn write_invalidates_exactly_the_sharers(
+        readers in proptest::collection::btree_set(1u16..8, 0..7),
+        writer in 0u16..1,
+    ) {
+        let mut mem = MemorySystem::new(MachineConfig::table1_with_nodes(8));
+        let addr = mem.layout().shared_addr(0, 0);
+        let mut t = Cycles::ZERO;
+        for &r in &readers {
+            t += Cycles::from_micros(1);
+            mem.read(NodeId::new(r), addr, t);
+        }
+        let w = mem.write(NodeId::new(writer), addr, t + Cycles::from_micros(1));
+        let mut invalidated: Vec<u16> =
+            w.invalidations.iter().map(|i| i.node.as_u16()).collect();
+        invalidated.sort_unstable();
+        let expected: Vec<u16> = readers.iter().copied().collect();
+        prop_assert_eq!(invalidated, expected);
+        for inv in &w.invalidations {
+            prop_assert!(w.completion >= inv.at || !readers.is_empty());
+            prop_assert_eq!(
+                mem.cached_state(inv.node, addr.line()),
+                LineState::Invalid
+            );
+        }
+        prop_assert_eq!(mem.dir_state(addr.line()), DirState::Exclusive(NodeId::new(writer)));
+    }
+
+    /// Flushing leaves no dirty shared lines and never touches private
+    /// dirty data; flushing twice is idempotent in line count.
+    #[test]
+    fn flush_clears_exactly_shared_dirty(
+        shared_writes in proptest::collection::vec(0u64..16, 0..20),
+        private_writes in 0u32..10,
+    ) {
+        let mut mem = MemorySystem::new(MachineConfig::table1_with_nodes(4));
+        let node = NodeId::new(1);
+        let mut t = Cycles::ZERO;
+        let mut distinct = std::collections::HashSet::new();
+        for &page in &shared_writes {
+            t += Cycles::from_micros(1);
+            let addr = mem.layout().shared_addr(page, 0);
+            mem.write(node, addr, t);
+            distinct.insert(addr.line());
+        }
+        for i in 0..private_writes {
+            t += Cycles::from_micros(1);
+            let addr = mem.layout().private_addr(node, 0, (i as u64) * 64);
+            mem.write(node, addr, t);
+        }
+        // Capacity evictions may already have written some lines back
+        // (the pool collides in cache sets on purpose); the flush handles
+        // exactly the lines still dirty in the hierarchy.
+        let still_dirty = distinct
+            .iter()
+            .filter(|&&l| mem.cached_state(node, l) == LineState::Modified)
+            .count();
+        let f1 = mem.flush_dirty_shared(node, t + Cycles::from_micros(1));
+        prop_assert_eq!(f1.lines, still_dirty);
+        let f2 = mem.flush_dirty_shared(node, t + Cycles::from_micros(2));
+        prop_assert_eq!(f2.lines, 0, "second flush finds nothing dirty");
+        // Private data stayed dirty.
+        for i in 0..private_writes {
+            let addr = mem.layout().private_addr(node, 0, (i as u64) * 64);
+            prop_assert_eq!(mem.cached_state(node, addr.line()), LineState::Modified);
+        }
+    }
+
+    /// Access completion never precedes issue, and repeated reads of the
+    /// same location from the same node eventually become L1 hits.
+    #[test]
+    fn latencies_are_causal_and_caches_warm(
+        node in 0u16..8,
+        page in 0u64..32,
+    ) {
+        let mut mem = MemorySystem::new(MachineConfig::table1_with_nodes(8));
+        let addr = mem.layout().shared_addr(page, 0);
+        let mut t = Cycles::from_micros(1);
+        let first = mem.read(NodeId::new(node), addr, t);
+        prop_assert!(first.completion > t);
+        t = first.completion + Cycles::from_micros(1);
+        let second = mem.read(NodeId::new(node), addr, t);
+        prop_assert_eq!(second.class, tb_mem::AccessClass::L1Hit);
+        prop_assert_eq!(second.latency(t), Cycles::from_nanos(2));
+    }
+}

@@ -1,0 +1,141 @@
+//! The distributed-memory cluster model.
+//!
+//! Nodes exchange point-to-point messages over a full crossbar: a message
+//! sent at `t` is delivered at `t + latency`, and a node broadcasting to
+//! many destinations serializes its sends with a per-message dispatch gap
+//! (the NIC's injection rate). Latencies default to a tightly-coupled
+//! cluster of the paper's era (a few microseconds per message — an order
+//! of magnitude above the CC-NUMA machine's coherence messages, which is
+//! exactly why the trade-offs shift).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use tb_sim::Cycles;
+
+/// Cluster parameters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of nodes (one process per node).
+    pub nodes: u16,
+    /// One-way small-message latency between any two distinct nodes.
+    pub msg_latency: Cycles,
+    /// Serialization gap between successive sends from one node (NIC
+    /// injection rate).
+    pub dispatch_gap: Cycles,
+    /// Time for a polling loop iteration to notice a delivered message.
+    pub poll_grain: Cycles,
+    /// Which node coordinates the barrier (collects arrivals, broadcasts
+    /// releases).
+    pub coordinator: u16,
+}
+
+impl ClusterConfig {
+    /// A tightly-coupled cluster: 5 µs messages, 200 ns injection gap,
+    /// 100 ns polling grain, node 0 coordinating.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= nodes <= 1024`.
+    pub fn default_cluster(nodes: u16) -> Self {
+        assert!(
+            (2..=1024).contains(&nodes),
+            "cluster size must be in 2..=1024, got {nodes}"
+        );
+        ClusterConfig {
+            nodes,
+            msg_latency: Cycles::from_micros(5),
+            dispatch_gap: Cycles::from_nanos(200),
+            poll_grain: Cycles::from_nanos(100),
+            coordinator: 0,
+        }
+    }
+
+    /// Delivery time of a message sent from `from` to `to` at `sent`,
+    /// as the `index`-th message of a batch (broadcasts serialize).
+    ///
+    /// A self-message (coordinator checking in with itself) is free.
+    pub fn delivery(&self, from: u16, to: u16, sent: Cycles, index: u64) -> Cycles {
+        if from == to {
+            sent
+        } else {
+            sent + self.dispatch_gap * index + self.msg_latency
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinator is out of range or latencies are zero.
+    pub fn validate(&self) {
+        assert!(
+            self.coordinator < self.nodes,
+            "coordinator {} outside the {}-node cluster",
+            self.coordinator,
+            self.nodes
+        );
+        assert!(self.msg_latency > Cycles::ZERO, "messages cannot be instant");
+        assert!(self.poll_grain > Cycles::ZERO, "polling cannot be instant");
+    }
+}
+
+impl fmt::Display for ClusterConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} nodes, {} msg latency, {} dispatch gap, coordinator n{}",
+            self.nodes, self.msg_latency, self.dispatch_gap, self.coordinator
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_cluster_is_valid() {
+        let c = ClusterConfig::default_cluster(64);
+        c.validate();
+        assert_eq!(c.nodes, 64);
+    }
+
+    #[test]
+    fn delivery_adds_latency_and_gap() {
+        let c = ClusterConfig::default_cluster(4);
+        let t = Cycles::from_micros(100);
+        assert_eq!(c.delivery(0, 1, t, 0), t + c.msg_latency);
+        assert_eq!(
+            c.delivery(0, 2, t, 3),
+            t + c.dispatch_gap * 3 + c.msg_latency
+        );
+    }
+
+    #[test]
+    fn self_messages_are_free() {
+        let c = ClusterConfig::default_cluster(4);
+        let t = Cycles::from_micros(7);
+        assert_eq!(c.delivery(2, 2, t, 5), t);
+    }
+
+    #[test]
+    #[should_panic(expected = "cluster size")]
+    fn one_node_rejected() {
+        let _ = ClusterConfig::default_cluster(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn bad_coordinator_rejected() {
+        let mut c = ClusterConfig::default_cluster(4);
+        c.coordinator = 4;
+        c.validate();
+    }
+
+    #[test]
+    fn display_mentions_coordinator() {
+        assert!(ClusterConfig::default_cluster(8)
+            .to_string()
+            .contains("coordinator n0"));
+    }
+}

@@ -1,0 +1,414 @@
+//! A thrifty lock — the paper's §7 future work ("extending this concept …
+//! to other synchronization constructs, such as locks") realized on real
+//! threads.
+//!
+//! The same idea as the thrifty barrier transfers directly: a contended
+//! waiter predicts how long it will wait (history-based, indexed by the
+//! *acquisition site*, the analog of the barrier PC), and either spins
+//! (short predicted wait) or parks its core (long predicted wait). The
+//! release is the external wake-up; a spin cap bounds misprediction the
+//! way the barrier's hybrid wake-up does.
+
+use crate::clock::RuntimeClock;
+use parking_lot::{Condvar, Mutex};
+use serde::{Deserialize, Serialize};
+use std::cell::UnsafeCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+use tb_sim::Cycles;
+
+/// Identifies a static lock-acquisition site (the analog of the barrier
+/// PC): waits observed at one site predict future waits at that site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LockSite(u64);
+
+impl LockSite {
+    /// Creates a site identifier.
+    pub const fn new(id: u64) -> Self {
+        LockSite(id)
+    }
+}
+
+impl fmt::Display for LockSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lock-site:{:#x}", self.0)
+    }
+}
+
+/// Waits predicted longer than this park the core instead of spinning
+/// (the analog of the sleep table's profitability bound: twice a park's
+/// round-trip cost).
+const PARK_THRESHOLD: Cycles = Cycles::from_micros(120);
+/// A spinner that has waited this much longer than predicted switches to
+/// parking — the misprediction bound.
+const SPIN_CAP: Cycles = Cycles::from_micros(200);
+/// EWMA weight of the newest wait measurement.
+const ALPHA: f64 = 0.5;
+
+/// Accumulated lock statistics (the energy proxy: parked time frees the
+/// core, spinning burns it).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LockStats {
+    /// Total acquisitions.
+    pub acquisitions: u64,
+    /// Acquisitions that found the lock held.
+    pub contended: u64,
+    /// Contended acquisitions that parked (immediately or after the spin
+    /// cap).
+    pub parked: u64,
+    /// Time spent spinning for the lock.
+    pub spin_time: Cycles,
+    /// Time spent parked waiting for the lock.
+    pub park_time: Cycles,
+}
+
+impl LockStats {
+    /// Fraction of contended wait time during which the core was freed.
+    pub fn freed_fraction(&self) -> f64 {
+        let total = (self.spin_time + self.park_time).as_u64() as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            self.park_time.as_u64() as f64 / total
+        }
+    }
+}
+
+impl fmt::Display for LockStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} acq ({} contended, {} parked), spin {}, park {} ({:.1}% freed)",
+            self.acquisitions,
+            self.contended,
+            self.parked,
+            self.spin_time,
+            self.park_time,
+            self.freed_fraction() * 100.0
+        )
+    }
+}
+
+/// A mutual-exclusion lock whose contended waiters predict their wait time
+/// per acquisition site and spin or park accordingly.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use tb_runtime::{LockSite, ThriftyLock};
+///
+/// let lock = Arc::new(ThriftyLock::new(0u64));
+/// let site = LockSite::new(0x10);
+/// let handles: Vec<_> = (0..4)
+///     .map(|_| {
+///         let l = Arc::clone(&lock);
+///         std::thread::spawn(move || {
+///             for _ in 0..100 {
+///                 *l.lock(site) += 1;
+///             }
+///         })
+///     })
+///     .collect();
+/// for h in handles {
+///     h.join().unwrap();
+/// }
+/// assert_eq!(*lock.lock(site), 400);
+/// ```
+#[derive(Debug)]
+pub struct ThriftyLock<T> {
+    data: UnsafeCell<T>,
+    /// The lock word: the actual mutual-exclusion state.
+    held: AtomicBool,
+    /// Parking support: parkers wait here; unlockers notify.
+    gate: Mutex<()>,
+    cv: Condvar,
+    clock: RuntimeClock,
+    predictor: Mutex<HashMap<LockSite, f64>>,
+    stats: Mutex<LockStats>,
+}
+
+// SAFETY: the lock provides exclusive access to `data`: only the thread
+// that won the `held` compare-exchange can construct a guard, and the
+// guard releases on drop. `T: Send` suffices because only one thread
+// touches the data at a time.
+unsafe impl<T: Send> Send for ThriftyLock<T> {}
+unsafe impl<T: Send> Sync for ThriftyLock<T> {}
+
+/// RAII guard providing access to the protected data; releases on drop.
+#[derive(Debug)]
+pub struct ThriftyLockGuard<'a, T> {
+    lock: &'a ThriftyLock<T>,
+}
+
+impl<T> ThriftyLock<T> {
+    /// Creates an unlocked lock protecting `value`.
+    pub fn new(value: T) -> Self {
+        ThriftyLock {
+            data: UnsafeCell::new(value),
+            held: AtomicBool::new(false),
+            gate: Mutex::new(()),
+            cv: Condvar::new(),
+            clock: RuntimeClock::new(),
+            predictor: Mutex::new(HashMap::new()),
+            stats: Mutex::new(LockStats::default()),
+        }
+    }
+
+    /// Consumes the lock, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+
+    /// A snapshot of the accumulated statistics.
+    pub fn stats(&self) -> LockStats {
+        *self.stats.lock()
+    }
+
+    /// The current wait prediction for a site, if any history exists.
+    pub fn predicted_wait(&self, site: LockSite) -> Option<Cycles> {
+        self.predictor
+            .lock()
+            .get(&site)
+            .map(|&ns| Cycles::from_nanos(ns.round() as u64))
+    }
+
+    fn try_acquire(&self) -> bool {
+        self.held
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Acquires the lock at `site`, spinning or parking per the site's
+    /// predicted wait.
+    pub fn lock(&self, site: LockSite) -> ThriftyLockGuard<'_, T> {
+        let start = self.clock.now();
+        if self.try_acquire() {
+            let mut stats = self.stats.lock();
+            stats.acquisitions += 1;
+            return ThriftyLockGuard { lock: self };
+        }
+        // Contended: decide like the barrier's sleep() call.
+        let predicted = self.predictor.lock().get(&site).copied();
+        let park_now = predicted.is_some_and(|ns| ns > PARK_THRESHOLD.as_u64() as f64);
+        let mut spin_end = start;
+        if !park_now {
+            // Spin, bounded by the prediction plus the misprediction cap.
+            let spin_deadline = start
+                + predicted
+                    .map(|ns| Cycles::from_nanos(ns.round() as u64))
+                    .unwrap_or(Cycles::ZERO)
+                + SPIN_CAP;
+            loop {
+                if self.try_acquire() {
+                    spin_end = self.clock.now();
+                    self.finish_acquire(site, start, spin_end, spin_end, false);
+                    return ThriftyLockGuard { lock: self };
+                }
+                if self.clock.now() >= spin_deadline {
+                    spin_end = self.clock.now();
+                    break;
+                }
+                std::hint::spin_loop();
+            }
+        }
+        // Park until the holder releases.
+        let mut guard = self.gate.lock();
+        while !self.try_acquire() {
+            self.cv.wait_for(&mut guard, Duration::from_millis(1));
+        }
+        drop(guard);
+        let acquired = self.clock.now();
+        self.finish_acquire(site, start, spin_end, acquired, true);
+        ThriftyLockGuard { lock: self }
+    }
+
+    fn finish_acquire(
+        &self,
+        site: LockSite,
+        start: Cycles,
+        spin_end: Cycles,
+        acquired: Cycles,
+        parked: bool,
+    ) {
+        let wait_ns = acquired.saturating_sub(start).as_u64() as f64;
+        {
+            let mut pred = self.predictor.lock();
+            pred.entry(site)
+                .and_modify(|e| *e = (1.0 - ALPHA) * *e + ALPHA * wait_ns)
+                .or_insert(wait_ns);
+        }
+        let mut stats = self.stats.lock();
+        stats.acquisitions += 1;
+        stats.contended += 1;
+        stats.spin_time += spin_end.saturating_sub(start);
+        if parked {
+            stats.parked += 1;
+            stats.park_time += acquired.saturating_sub(spin_end);
+        }
+    }
+
+    fn unlock(&self) {
+        self.held.store(false, Ordering::Release);
+        // Take the gate so a parker cannot check-then-sleep between our
+        // store and the notification.
+        drop(self.gate.lock());
+        self.cv.notify_one();
+    }
+}
+
+impl<T: Default> Default for ThriftyLock<T> {
+    fn default() -> Self {
+        ThriftyLock::new(T::default())
+    }
+}
+
+impl<T> Deref for ThriftyLockGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the guard exists only while this thread holds the lock.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> DerefMut for ThriftyLockGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: the guard exists only while this thread holds the lock,
+        // and `&mut self` guarantees no aliasing through this guard.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for ThriftyLockGuard<'_, T> {
+    fn drop(&mut self) {
+        self.lock.unlock();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    const SITE: LockSite = LockSite::new(0x42);
+
+    #[test]
+    fn provides_mutual_exclusion() {
+        let lock = Arc::new(ThriftyLock::new(0u64));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let l = Arc::clone(&lock);
+                std::thread::spawn(move || {
+                    for _ in 0..1_000 {
+                        *l.lock(SITE) += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let lock = Arc::into_inner(lock).expect("all clones joined");
+        assert_eq!(lock.into_inner(), 8_000);
+    }
+
+    #[test]
+    fn uncontended_locks_are_not_counted_contended() {
+        let lock = ThriftyLock::new(());
+        for _ in 0..10 {
+            drop(lock.lock(SITE));
+        }
+        let s = lock.stats();
+        assert_eq!(s.acquisitions, 10);
+        assert_eq!(s.contended, 0);
+        assert_eq!(s.parked, 0);
+    }
+
+    #[test]
+    fn long_holds_teach_waiters_to_park() {
+        let lock = Arc::new(ThriftyLock::new(0u32));
+        let l = Arc::clone(&lock);
+        // The holder keeps the lock for 3 ms, repeatedly; the waiter should
+        // learn to park after the first long wait.
+        let holder = std::thread::spawn(move || {
+            for _ in 0..6 {
+                let mut g = l.lock(LockSite::new(0x1));
+                *g += 1;
+                std::thread::sleep(Duration::from_millis(3));
+                drop(g);
+                std::thread::sleep(Duration::from_micros(200));
+            }
+        });
+        std::thread::sleep(Duration::from_micros(300));
+        for _ in 0..5 {
+            let g = lock.lock(SITE);
+            drop(g);
+            std::thread::sleep(Duration::from_micros(500));
+        }
+        holder.join().unwrap();
+        let s = lock.stats();
+        assert!(s.parked > 0, "long waits should park: {s}");
+        assert!(
+            lock.predicted_wait(SITE).unwrap_or(Cycles::ZERO) > Cycles::from_micros(100),
+            "prediction learned a long wait"
+        );
+    }
+
+    #[test]
+    fn predictor_is_per_site() {
+        let lock = ThriftyLock::new(());
+        drop(lock.lock(LockSite::new(1)));
+        assert_eq!(lock.predicted_wait(LockSite::new(1)), None, "uncontended: no update");
+        assert_eq!(lock.predicted_wait(LockSite::new(2)), None);
+    }
+
+    #[test]
+    fn guard_gives_data_access() {
+        let lock = ThriftyLock::new(vec![1, 2, 3]);
+        {
+            let mut g = lock.lock(SITE);
+            g.push(4);
+            assert_eq!(g.len(), 4);
+        }
+        assert_eq!(*lock.lock(SITE), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn default_constructs_unlocked() {
+        let lock: ThriftyLock<u32> = ThriftyLock::default();
+        assert_eq!(*lock.lock(SITE), 0);
+    }
+
+    #[test]
+    fn stats_display() {
+        let s = LockStats::default().to_string();
+        assert!(s.contains("acq"));
+        assert!(s.contains("freed"));
+    }
+
+    #[test]
+    fn stress_many_sites_and_threads() {
+        let lock = Arc::new(ThriftyLock::new(0u64));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let l = Arc::clone(&lock);
+                std::thread::spawn(move || {
+                    for i in 0..500u64 {
+                        let site = LockSite::new(i % 3);
+                        let mut g = l.lock(site);
+                        *g += t as u64 % 2 + 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let total = *lock.lock(SITE);
+        assert_eq!(total, 500 * (1 + 2 + 1 + 2));
+    }
+}

@@ -1,0 +1,143 @@
+//! The conventional sense-reversal spin barrier (Figure 2 of the paper),
+//! on real threads — the Baseline of the runtime comparison.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// A sense-reversal spin barrier for a fixed set of threads.
+///
+/// Unlike `std::sync::Barrier`, waiting threads *spin* (with
+/// `std::hint::spin_loop`), exactly like the paper's conventional barrier:
+/// all stall time burns CPU.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use tb_runtime::SpinBarrier;
+///
+/// let b = Arc::new(SpinBarrier::new(2));
+/// let b2 = Arc::clone(&b);
+/// let h = std::thread::spawn(move || b2.wait());
+/// b.wait();
+/// h.join().unwrap();
+/// ```
+#[derive(Debug)]
+pub struct SpinBarrier {
+    total: usize,
+    count: AtomicUsize,
+    sense: AtomicBool,
+}
+
+impl SpinBarrier {
+    /// Creates a barrier for `total` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total == 0`.
+    pub fn new(total: usize) -> Self {
+        assert!(total > 0, "a barrier needs at least one thread");
+        SpinBarrier {
+            total,
+            count: AtomicUsize::new(0),
+            sense: AtomicBool::new(false),
+        }
+    }
+
+    /// Number of participating threads.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Blocks (spinning) until all `total` threads have called `wait`.
+    /// Returns `true` on the releasing ("last") thread.
+    pub fn wait(&self) -> bool {
+        let local_sense = !self.sense.load(Ordering::Acquire);
+        let arrived = self.count.fetch_add(1, Ordering::AcqRel) + 1;
+        if arrived == self.total {
+            self.count.store(0, Ordering::Release);
+            self.sense.store(local_sense, Ordering::Release);
+            true
+        } else {
+            while self.sense.load(Ordering::Acquire) != local_sense {
+                std::hint::spin_loop();
+            }
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn single_thread_releases_itself() {
+        let b = SpinBarrier::new(1);
+        assert!(b.wait());
+        assert!(b.wait(), "reusable across episodes");
+    }
+
+    #[test]
+    fn exactly_one_releaser_per_episode() {
+        let threads = 8;
+        let episodes = 50;
+        let b = Arc::new(SpinBarrier::new(threads));
+        let releases = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let b = Arc::clone(&b);
+                let releases = Arc::clone(&releases);
+                std::thread::spawn(move || {
+                    for _ in 0..episodes {
+                        if b.wait() {
+                            releases.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(releases.load(Ordering::Relaxed), episodes);
+    }
+
+    #[test]
+    fn no_thread_races_ahead() {
+        // Every thread increments a per-phase cell; after the barrier, all
+        // cells of the current phase must be complete.
+        let threads = 4;
+        let episodes = 30;
+        let b = Arc::new(SpinBarrier::new(threads));
+        let phase_counts: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..episodes).map(|_| AtomicUsize::new(0)).collect());
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let b = Arc::clone(&b);
+                let counts = Arc::clone(&phase_counts);
+                std::thread::spawn(move || {
+                    for e in 0..episodes {
+                        counts[e].fetch_add(1, Ordering::SeqCst);
+                        b.wait();
+                        assert_eq!(
+                            counts[e].load(Ordering::SeqCst),
+                            threads,
+                            "a thread crossed the barrier early"
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        let _ = SpinBarrier::new(0);
+    }
+}

@@ -1,0 +1,153 @@
+//! Time-in-state accounting for the runtime barrier — the energy proxy.
+//!
+//! On real hardware we cannot meter joules, but the paper's energy story
+//! maps directly onto scheduler states: spinning burns a core at spin
+//! power, yielding shares it, parking frees it. Tracking nanoseconds per
+//! state therefore plays the role of the simulator's energy ledger.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use tb_sim::Cycles;
+
+/// Per-thread time-in-state totals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreadStats {
+    /// Time spent busy-spinning at barriers (initial + residual spin).
+    pub spin: Cycles,
+    /// Time spent in the yield loop (shallow sleep analog).
+    pub yielded: Cycles,
+    /// Time spent parked (deep sleep analog).
+    pub parked: Cycles,
+    /// Barrier episodes in which this thread slept (yield or park).
+    pub sleeps: u64,
+    /// Barrier episodes in which this thread spun conventionally.
+    pub spins: u64,
+    /// Episodes where the park timed out before the release (early
+    /// wake-up; residual spin followed).
+    pub early_wakeups: u64,
+    /// §3.3.3 cut-off activations observed by this thread.
+    pub cutoff_disables: u64,
+}
+
+impl ThreadStats {
+    /// Total stall time at barriers.
+    pub fn total_stall(&self) -> Cycles {
+        self.spin + self.yielded + self.parked
+    }
+
+    /// The fraction of stall time the core was *freed* (parked) rather
+    /// than burned — the runtime's headline "energy" metric.
+    pub fn freed_fraction(&self) -> f64 {
+        let total = self.total_stall().as_u64() as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            self.parked.as_u64() as f64 / total
+        }
+    }
+
+    /// Merges another thread's totals into this one.
+    pub fn merge(&mut self, other: &ThreadStats) {
+        self.spin += other.spin;
+        self.yielded += other.yielded;
+        self.parked += other.parked;
+        self.sleeps += other.sleeps;
+        self.spins += other.spins;
+        self.early_wakeups += other.early_wakeups;
+        self.cutoff_disables += other.cutoff_disables;
+    }
+}
+
+impl fmt::Display for ThreadStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "spin {} yield {} park {} ({} sleeps, {} spins, {:.1}% freed)",
+            self.spin,
+            self.yielded,
+            self.parked,
+            self.sleeps,
+            self.spins,
+            self.freed_fraction() * 100.0
+        )
+    }
+}
+
+/// Whole-barrier statistics: the per-thread totals plus episode counts.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RuntimeStats {
+    /// Per-thread time-in-state totals.
+    pub threads: Vec<ThreadStats>,
+    /// Barrier episodes completed.
+    pub barriers_completed: u64,
+}
+
+impl RuntimeStats {
+    /// Sum of all threads' totals.
+    pub fn combined(&self) -> ThreadStats {
+        let mut out = ThreadStats::default();
+        for t in &self.threads {
+            out.merge(t);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn freed_fraction_bounds() {
+        let mut s = ThreadStats::default();
+        assert_eq!(s.freed_fraction(), 0.0);
+        s.spin = Cycles::from_micros(25);
+        s.parked = Cycles::from_micros(75);
+        assert!((s.freed_fraction() - 0.75).abs() < 1e-12);
+        assert_eq!(s.total_stall(), Cycles::from_micros(100));
+    }
+
+    #[test]
+    fn merge_is_additive() {
+        let mut a = ThreadStats {
+            spin: Cycles::from_micros(1),
+            sleeps: 2,
+            ..Default::default()
+        };
+        let b = ThreadStats {
+            spin: Cycles::from_micros(3),
+            sleeps: 5,
+            early_wakeups: 1,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.spin, Cycles::from_micros(4));
+        assert_eq!(a.sleeps, 7);
+        assert_eq!(a.early_wakeups, 1);
+    }
+
+    #[test]
+    fn combined_sums_threads() {
+        let stats = RuntimeStats {
+            threads: vec![
+                ThreadStats {
+                    parked: Cycles::from_micros(10),
+                    ..Default::default()
+                },
+                ThreadStats {
+                    parked: Cycles::from_micros(20),
+                    ..Default::default()
+                },
+            ],
+            barriers_completed: 4,
+        };
+        assert_eq!(stats.combined().parked, Cycles::from_micros(30));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = ThreadStats::default().to_string();
+        assert!(s.contains("spin"));
+        assert!(s.contains("freed"));
+    }
+}

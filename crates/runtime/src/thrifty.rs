@@ -1,0 +1,485 @@
+//! The thrifty barrier on real threads.
+//!
+//! Uses [`tb_core::BarrierAlgorithm`] unchanged: the same PC-indexed
+//! last-value BIT predictor, the same derived stall times, the same
+//! deepest-state-that-fits policy and §3.3.3 cut-off. Only the physical
+//! actions differ: "sleep states" are a yield loop and a timed park, the
+//! external wake-up is the releaser's condvar broadcast, and the internal
+//! wake-up is the park timeout.
+
+use crate::clock::RuntimeClock;
+use crate::stats::{RuntimeStats, ThreadStats};
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+use tb_core::{AlgorithmConfig, BarrierAlgorithm, BarrierPc, SleepChoice, ThreadId};
+use tb_energy::{SleepState, SleepStateId, SleepTable};
+use tb_sim::Cycles;
+
+/// The OS-level sleep-state table: a yield loop (shallow) and a timed park
+/// (deep).
+///
+/// "Power savings" are core-occupancy proxies: a yielding thread still
+/// competes for its core, a parked thread frees it entirely. Transition
+/// latencies reflect scheduler costs (a quantum hand-off, a futex round
+/// trip) and play the same role as the paper's PLL stabilization times.
+#[derive(Debug, Clone)]
+pub struct RuntimeSleepLevels;
+
+impl RuntimeSleepLevels {
+    /// Index of the yield level in [`RuntimeSleepLevels::table`].
+    pub const YIELD: usize = 0;
+    /// Index of the park level.
+    pub const PARK: usize = 1;
+
+    /// The two-level table.
+    pub fn table() -> SleepTable {
+        SleepTable::from_states(vec![
+            SleepState::new("yield", 0.30, Cycles::from_micros(5), true, false),
+            SleepState::new("park", 0.95, Cycles::from_micros(30), true, false),
+        ])
+    }
+
+    /// `true` when the chosen state is the park level.
+    pub fn is_park(id: SleepStateId) -> bool {
+        id.index() == Self::PARK
+    }
+}
+
+/// What one `wait` call did (for tests and instrumentation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitOutcome {
+    /// `true` on the releasing thread.
+    pub was_last: bool,
+    /// The sleep/spin decision taken (always `Spin` for the releaser).
+    pub choice: SleepChoice,
+    /// The stall predicted at arrival, if any.
+    pub predicted_stall: Option<Cycles>,
+    /// Measured wall-clock stall from arrival to departure.
+    pub stall: Cycles,
+    /// The §3.3.3 overprediction penalty measured after waking.
+    pub penalty: Cycles,
+    /// Whether this episode tripped the cut-off for (thread, site).
+    pub disabled: bool,
+}
+
+#[derive(Debug)]
+struct Inner {
+    total: usize,
+    clock: RuntimeClock,
+    count: AtomicUsize,
+    sense: AtomicBool,
+    algo: Mutex<BarrierAlgorithm>,
+    gate: Mutex<()>,
+    condvar: Condvar,
+    stats: Vec<Mutex<ThreadStats>>,
+    barriers: AtomicU64,
+}
+
+/// A reusable thrifty barrier for a fixed set of OS threads.
+///
+/// Wrap it in an [`std::sync::Arc`] and have each thread call
+/// [`ThriftyRuntimeBarrier::wait`] with its dense thread index and the
+/// barrier site's PC.
+#[derive(Debug)]
+pub struct ThriftyRuntimeBarrier {
+    inner: Inner,
+}
+
+impl ThriftyRuntimeBarrier {
+    /// Creates a barrier for `total` threads with the default runtime
+    /// configuration (thrifty algorithm over the yield/park table).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total == 0`.
+    pub fn new(total: usize) -> Self {
+        let cfg = AlgorithmConfig {
+            sleep_table: RuntimeSleepLevels::table(),
+            ..AlgorithmConfig::thrifty()
+        };
+        ThriftyRuntimeBarrier::with_config(total, cfg)
+    }
+
+    /// Creates a barrier with an explicit algorithm configuration (e.g. a
+    /// conventional baseline via [`AlgorithmConfig::baseline`], or ablated
+    /// thresholds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total == 0` or the table has more than two states (the
+    /// runtime knows how to execute only yield and park).
+    pub fn with_config(total: usize, cfg: AlgorithmConfig) -> Self {
+        assert!(total > 0, "a barrier needs at least one thread");
+        assert!(
+            cfg.sleep_table.len() <= 2,
+            "the runtime maps at most two sleep levels (yield, park)"
+        );
+        ThriftyRuntimeBarrier {
+            inner: Inner {
+                total,
+                clock: RuntimeClock::new(),
+                count: AtomicUsize::new(0),
+                sense: AtomicBool::new(false),
+                algo: Mutex::new(BarrierAlgorithm::new(cfg, total)),
+                gate: Mutex::new(()),
+                condvar: Condvar::new(),
+                stats: (0..total).map(|_| Mutex::new(ThreadStats::default())).collect(),
+                barriers: AtomicU64::new(0),
+            },
+        }
+    }
+
+    /// Number of participating threads.
+    pub fn total(&self) -> usize {
+        self.inner.total
+    }
+
+    /// A snapshot of the accumulated statistics.
+    pub fn stats(&self) -> RuntimeStats {
+        RuntimeStats {
+            threads: self.inner.stats.iter().map(|s| *s.lock()).collect(),
+            barriers_completed: self.inner.barriers.load(Ordering::Acquire),
+        }
+    }
+
+    /// Waits at the barrier site `pc` as thread `thread`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread >= total`. Calling with a thread index that is
+    /// concurrently used by another OS thread corrupts the statistics but
+    /// not the barrier itself.
+    pub fn wait(&self, thread: usize, pc: BarrierPc) -> WaitOutcome {
+        assert!(thread < self.inner.total, "thread index out of range");
+        let inner = &self.inner;
+        let tid = ThreadId::new(thread);
+        let local_sense = !inner.sense.load(Ordering::Acquire);
+        let arrived = inner.count.fetch_add(1, Ordering::AcqRel) + 1;
+        if arrived == inner.total {
+            return self.release(tid, pc, local_sense);
+        }
+        let arrival = inner.clock.now();
+        let decision = inner.algo.lock().on_early_arrival(tid, pc, arrival);
+        let (wake_ts, spin_since) = match decision.choice {
+            SleepChoice::Spin => {
+                inner.stats[thread].lock().spins += 1;
+                (None, arrival)
+            }
+            SleepChoice::Sleep { state, .. } => {
+                inner.stats[thread].lock().sleeps += 1;
+                let woke = if RuntimeSleepLevels::is_park(state) {
+                    self.park_until(thread, local_sense, decision.wakeup.internal_at)
+                } else {
+                    self.yield_until(thread, local_sense, decision.wakeup.internal_at)
+                };
+                (Some(woke), woke)
+            }
+        };
+        // Residual spin (§3.3.1): correctness never depends on the wake-up
+        // being exact. Unlike the simulated hardware spinloop, a real
+        // runtime must tolerate oversubscription (more threads than
+        // cores), so the spin cedes the core every few thousand
+        // iterations — without this, spinners can starve the releaser on
+        // small machines.
+        let mut iterations = 0u32;
+        while inner.sense.load(Ordering::Acquire) != local_sense {
+            std::hint::spin_loop();
+            iterations += 1;
+            if iterations % 4096 == 0 {
+                std::thread::yield_now();
+            }
+        }
+        let departed = inner.clock.now();
+        inner.stats[thread].lock().spin += departed.saturating_sub(spin_since);
+        let finish = inner
+            .algo
+            .lock()
+            .finish_barrier(tid, pc, wake_ts.unwrap_or(departed));
+        if finish.disabled {
+            inner.stats[thread].lock().cutoff_disables += 1;
+        }
+        WaitOutcome {
+            was_last: false,
+            choice: decision.choice,
+            predicted_stall: decision.predicted_stall,
+            stall: departed.saturating_sub(arrival),
+            penalty: finish.penalty,
+            disabled: finish.disabled,
+        }
+    }
+
+    fn release(&self, tid: ThreadId, pc: BarrierPc, local_sense: bool) -> WaitOutcome {
+        let inner = &self.inner;
+        let now = inner.clock.now();
+        let mut algo = inner.algo.lock();
+        algo.on_last_arrival(tid, pc, now);
+        inner.count.store(0, Ordering::Release);
+        {
+            // Publish the flip under the gate so parked threads cannot miss
+            // the broadcast between their predicate check and their wait.
+            let _g = inner.gate.lock();
+            inner.sense.store(local_sense, Ordering::Release);
+        }
+        inner.condvar.notify_all();
+        let finish = algo.finish_barrier(tid, pc, inner.clock.now());
+        drop(algo);
+        inner.barriers.fetch_add(1, Ordering::AcqRel);
+        WaitOutcome {
+            was_last: true,
+            choice: SleepChoice::Spin,
+            predicted_stall: None,
+            stall: Cycles::ZERO,
+            penalty: finish.penalty,
+            disabled: finish.disabled,
+        }
+    }
+
+    /// Deep sleep: park on the condvar until the release broadcast
+    /// (external wake-up) or the internal timeout. Returns the wake-up
+    /// timestamp.
+    fn park_until(&self, thread: usize, local_sense: bool, deadline: Option<Cycles>) -> Cycles {
+        let inner = &self.inner;
+        let start = inner.clock.now();
+        let mut guard = inner.gate.lock();
+        let mut timed_out = false;
+        while inner.sense.load(Ordering::Acquire) != local_sense {
+            match deadline {
+                Some(at) => {
+                    let now = inner.clock.now();
+                    if now >= at {
+                        timed_out = true;
+                        break;
+                    }
+                    let remaining = Duration::from_nanos(at.saturating_sub(now).as_u64());
+                    if inner.condvar.wait_for(&mut guard, remaining).timed_out() {
+                        timed_out = true;
+                        break;
+                    }
+                }
+                None => inner.condvar.wait(&mut guard),
+            }
+        }
+        drop(guard);
+        let woke = inner.clock.now();
+        let mut stats = inner.stats[thread].lock();
+        stats.parked += woke.saturating_sub(start);
+        if timed_out && inner.sense.load(Ordering::Acquire) != local_sense {
+            stats.early_wakeups += 1;
+        }
+        woke
+    }
+
+    /// Shallow sleep: cede the core repeatedly until the flip or the
+    /// internal timeout. Returns the wake-up timestamp.
+    fn yield_until(&self, thread: usize, local_sense: bool, deadline: Option<Cycles>) -> Cycles {
+        let inner = &self.inner;
+        let start = inner.clock.now();
+        let mut timed_out = false;
+        while inner.sense.load(Ordering::Acquire) != local_sense {
+            if let Some(at) = deadline {
+                if inner.clock.now() >= at {
+                    timed_out = true;
+                    break;
+                }
+            }
+            std::thread::yield_now();
+        }
+        let woke = inner.clock.now();
+        let mut stats = inner.stats[thread].lock();
+        stats.yielded += woke.saturating_sub(start);
+        if timed_out && inner.sense.load(Ordering::Acquire) != local_sense {
+            stats.early_wakeups += 1;
+        }
+        woke
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    const PC: BarrierPc = BarrierPc::new(0xBEEF);
+
+    fn run_phases(
+        barrier: Arc<ThriftyRuntimeBarrier>,
+        threads: usize,
+        episodes: usize,
+        stagger: impl Fn(usize, usize) -> Duration + Send + Sync + Copy + 'static,
+    ) {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let b = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    for e in 0..episodes {
+                        std::thread::sleep(stagger(t, e));
+                        b.wait(t, PC);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn synchronizes_correctly_under_stagger() {
+        let threads = 4;
+        let episodes = 20;
+        let barrier = Arc::new(ThriftyRuntimeBarrier::new(threads));
+        let counts: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..episodes).map(|_| AtomicUsize::new(0)).collect());
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let b = Arc::clone(&barrier);
+                let counts = Arc::clone(&counts);
+                std::thread::spawn(move || {
+                    for e in 0..episodes {
+                        std::thread::sleep(Duration::from_micros((t as u64) * 300));
+                        counts[e].fetch_add(1, Ordering::SeqCst);
+                        b.wait(t, PC);
+                        assert_eq!(counts[e].load(Ordering::SeqCst), threads);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(barrier.stats().barriers_completed, episodes as u64);
+    }
+
+    #[test]
+    fn imbalanced_workload_parks_the_early_threads() {
+        // Thread 3 is an 8 ms straggler every episode; the others should
+        // learn to park and free their cores for a good share of the stall.
+        // (Thresholds are loose because the test suite runs under CPU
+        // contention, which inflates scheduling noise.)
+        let threads = 4;
+        let episodes = 12;
+        let barrier = Arc::new(ThriftyRuntimeBarrier::new(threads));
+        run_phases(Arc::clone(&barrier), threads, episodes, |t, _| {
+            if t == 3 {
+                Duration::from_millis(8)
+            } else {
+                Duration::from_micros(100)
+            }
+        });
+        let stats = barrier.stats();
+        let combined = stats.combined();
+        assert!(combined.sleeps > 0, "early threads slept: {combined}");
+        assert!(
+            combined.freed_fraction() > 0.25,
+            "a good share of stall time should be parked, got {combined}"
+        );
+    }
+
+    #[test]
+    fn warmup_episode_spins() {
+        let threads = 2;
+        let barrier = Arc::new(ThriftyRuntimeBarrier::new(threads));
+        let b = Arc::clone(&barrier);
+        let h = std::thread::spawn(move || b.wait(1, PC));
+        std::thread::sleep(Duration::from_millis(1));
+        barrier.wait(0, PC);
+        h.join().unwrap();
+        let stats = barrier.stats();
+        assert_eq!(stats.combined().sleeps, 0, "no history on instance 0");
+        assert_eq!(stats.combined().spins, 1);
+    }
+
+    #[test]
+    fn balanced_workload_mostly_spins() {
+        // Stalls far below the yield profitability bound: the policy should
+        // keep everyone spinning.
+        let threads = 4;
+        let barrier = Arc::new(ThriftyRuntimeBarrier::new(threads));
+        run_phases(Arc::clone(&barrier), threads, 10, |_, _| {
+            Duration::from_micros(3)
+        });
+        let stats = barrier.stats().combined();
+        assert!(
+            stats.spins > stats.sleeps,
+            "balanced phases should spin: {stats}"
+        );
+    }
+
+    #[test]
+    fn baseline_config_never_sleeps() {
+        let threads = 4;
+        let cfg = AlgorithmConfig {
+            sleep_table: RuntimeSleepLevels::table(),
+            ..AlgorithmConfig::baseline()
+        };
+        let barrier = Arc::new(ThriftyRuntimeBarrier::with_config(threads, cfg));
+        run_phases(Arc::clone(&barrier), threads, 8, |t, _| {
+            Duration::from_millis(if t == 0 { 2 } else { 0 })
+        });
+        let stats = barrier.stats().combined();
+        assert_eq!(stats.sleeps, 0);
+        assert_eq!(stats.parked, Cycles::ZERO);
+    }
+
+    #[test]
+    fn distinct_sites_predict_independently() {
+        let threads = 2;
+        let barrier = Arc::new(ThriftyRuntimeBarrier::new(threads));
+        let pc2 = BarrierPc::new(0xCAFE);
+        let b = Arc::clone(&barrier);
+        let h = std::thread::spawn(move || {
+            for _ in 0..6 {
+                b.wait(1, PC);
+                b.wait(1, pc2);
+            }
+        });
+        for _ in 0..6 {
+            std::thread::sleep(Duration::from_millis(2));
+            barrier.wait(0, PC);
+            barrier.wait(0, pc2);
+        }
+        h.join().unwrap();
+        assert_eq!(barrier.stats().barriers_completed, 12);
+    }
+
+    #[test]
+    fn wait_outcome_reports_prediction() {
+        let threads = 2;
+        let barrier = Arc::new(ThriftyRuntimeBarrier::new(threads));
+        let b = Arc::clone(&barrier);
+        let outcomes = std::thread::spawn(move || {
+            let mut outs = Vec::new();
+            for _ in 0..5 {
+                outs.push(b.wait(1, PC));
+            }
+            outs
+        });
+        for _ in 0..5 {
+            std::thread::sleep(Duration::from_millis(2));
+            barrier.wait(0, PC);
+        }
+        let outs = outcomes.join().unwrap();
+        assert!(outs.iter().all(|o| !o.was_last));
+        assert_eq!(outs[0].predicted_stall, None, "warm-up has no prediction");
+        assert!(
+            outs[2..].iter().any(|o| o.predicted_stall.is_some()),
+            "later episodes predict"
+        );
+        assert!(outs.iter().all(|o| o.stall > Cycles::ZERO));
+    }
+
+    #[test]
+    #[should_panic(expected = "thread index out of range")]
+    fn out_of_range_thread_rejected() {
+        ThriftyRuntimeBarrier::new(2).wait(2, PC);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most two sleep levels")]
+    fn three_state_table_rejected() {
+        let cfg = AlgorithmConfig::thrifty(); // paper table: 3 states
+        let _ = ThriftyRuntimeBarrier::with_config(2, cfg);
+    }
+}

@@ -1,0 +1,181 @@
+//! Stress tests of the real-threads primitives: correctness must hold
+//! under random staggering, multiple barrier sites, and mixed
+//! barrier/lock usage. Timing-dependent *performance* properties are
+//! asserted loosely or not at all — these tests run under CI contention.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tb_core::BarrierPc;
+use tb_runtime::{LockSite, SpinBarrier, ThriftyLock, ThriftyRuntimeBarrier};
+
+#[test]
+fn thrifty_barrier_survives_random_stagger() {
+    // Sized to stay reasonable even on a single-core machine.
+    let threads = 4;
+    let episodes = 12;
+    let barrier = Arc::new(ThriftyRuntimeBarrier::new(threads));
+    let counters: Arc<Vec<AtomicUsize>> =
+        Arc::new((0..episodes).map(|_| AtomicUsize::new(0)).collect());
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let b = Arc::clone(&barrier);
+            let counters = Arc::clone(&counters);
+            std::thread::spawn(move || {
+                // Deterministic pseudo-random stagger per (thread, episode).
+                let mut x = (t as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15);
+                for e in 0..episodes {
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    std::thread::sleep(Duration::from_micros(x % 800));
+                    counters[e].fetch_add(1, Ordering::SeqCst);
+                    b.wait(t, BarrierPc::new(0x7777));
+                    assert_eq!(
+                        counters[e].load(Ordering::SeqCst),
+                        threads,
+                        "thread {t} crossed episode {e} early"
+                    );
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(barrier.stats().barriers_completed, episodes as u64);
+}
+
+#[test]
+fn alternating_sites_keep_independent_predictions() {
+    // Two sites with very different intervals, visited alternately; the
+    // barrier must stay correct and complete the expected episode count.
+    let threads = 3;
+    let rounds = 10;
+    let barrier = Arc::new(ThriftyRuntimeBarrier::new(threads));
+    let (fast, slow) = (BarrierPc::new(1), BarrierPc::new(2));
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let b = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                for _ in 0..rounds {
+                    std::thread::sleep(Duration::from_micros(50 * (t as u64 + 1)));
+                    b.wait(t, fast);
+                    if t == 0 {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    b.wait(t, slow);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(barrier.stats().barriers_completed, 2 * rounds as u64);
+}
+
+#[test]
+fn single_thread_barrier_is_trivially_correct() {
+    let barrier = ThriftyRuntimeBarrier::new(1);
+    for _ in 0..100 {
+        let out = barrier.wait(0, BarrierPc::new(9));
+        assert!(out.was_last);
+    }
+    assert_eq!(barrier.stats().barriers_completed, 100);
+}
+
+#[test]
+fn barrier_and_lock_compose() {
+    // A fork-join loop whose phases mutate shared state under the thrifty
+    // lock, separated by the thrifty barrier.
+    let threads = 4;
+    let episodes = 15;
+    let barrier = Arc::new(ThriftyRuntimeBarrier::new(threads));
+    let total = Arc::new(ThriftyLock::new(0u64));
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let b = Arc::clone(&barrier);
+            let l = Arc::clone(&total);
+            std::thread::spawn(move || {
+                for e in 0..episodes {
+                    {
+                        let mut g = l.lock(LockSite::new(0x1));
+                        *g += (t + e) as u64;
+                    }
+                    b.wait(t, BarrierPc::new(0xAB));
+                    // After the barrier, every thread of this episode has
+                    // contributed.
+                    let expected_min: u64 = (0..threads)
+                        .map(|x| (x + 0) as u64) // episode 0 lower bound
+                        .sum();
+                    assert!(*l.lock(LockSite::new(0x1)) >= expected_min);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let expected: u64 = (0..threads)
+        .flat_map(|t| (0..episodes).map(move |e| (t + e) as u64))
+        .sum();
+    let total = Arc::into_inner(total).expect("all clones joined");
+    assert_eq!(total.into_inner(), expected);
+}
+
+#[test]
+fn spin_and_thrifty_barriers_interoperate() {
+    // Different synchronization layers in one program: OS threads using a
+    // plain spin barrier for one phase group and a thrifty barrier for
+    // another.
+    let threads = 4;
+    let spin = Arc::new(SpinBarrier::new(threads));
+    let thrifty = Arc::new(ThriftyRuntimeBarrier::new(threads));
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let s = Arc::clone(&spin);
+            let b = Arc::clone(&thrifty);
+            std::thread::spawn(move || {
+                for _ in 0..10 {
+                    s.wait();
+                    b.wait(t, BarrierPc::new(0xCD));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(thrifty.stats().barriers_completed, 10);
+}
+
+#[test]
+fn lock_stress_with_rotating_contention() {
+    let lock = Arc::new(ThriftyLock::new(Vec::<usize>::new()));
+    let threads = 6;
+    let pushes = 300;
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let l = Arc::clone(&lock);
+            std::thread::spawn(move || {
+                for i in 0..pushes {
+                    let site = LockSite::new((i % 4) as u64);
+                    l.lock(site).push(t * pushes + i);
+                    if i % 50 == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let lock = Arc::into_inner(lock).expect("all clones joined");
+    let mut data = lock.into_inner();
+    assert_eq!(data.len(), threads * pushes);
+    data.sort_unstable();
+    data.dedup();
+    assert_eq!(data.len(), threads * pushes, "no lost or duplicated updates");
+}

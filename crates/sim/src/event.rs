@@ -1,0 +1,247 @@
+//! A cancellable discrete-event priority queue.
+//!
+//! The thrifty barrier's hybrid wake-up (§3.3.2 of the paper) needs exactly
+//! the semantics provided here: two independent wake-up events (external
+//! invalidation, internal timer) may be pending for the same CPU, and
+//! whichever fires first must *cancel* the other. [`EventQueue::cancel`]
+//! makes that a constant-time tombstone operation.
+//!
+//! Events at the same timestamp are delivered in FIFO scheduling order, so a
+//! simulation that schedules deterministically replays deterministically.
+
+use crate::time::Cycles;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::fmt;
+
+/// Opaque handle identifying a scheduled event, returned by
+/// [`EventQueue::schedule`] and accepted by [`EventQueue::cancel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventId(u64);
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "event#{}", self.0)
+    }
+}
+
+/// A time-ordered queue of events of type `E` with O(1) cancellation.
+///
+/// # Examples
+///
+/// ```
+/// use tb_sim::{Cycles, EventQueue};
+///
+/// let mut q = EventQueue::new();
+/// let timer = q.schedule(Cycles::new(100), "internal-timer");
+/// q.schedule(Cycles::new(60), "external-invalidation");
+/// // The invalidation arrives first, so the timer is cancelled:
+/// let (t, what) = q.pop().unwrap();
+/// assert_eq!((t, what), (Cycles::new(60), "external-invalidation"));
+/// assert!(q.cancel(timer));
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(Cycles, u64)>>,
+    live: HashMap<u64, E>,
+    next_seq: u64,
+    last_popped: Cycles,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            live: HashMap::new(),
+            next_seq: 0,
+            last_popped: Cycles::ZERO,
+        }
+    }
+
+    /// Schedules `event` for delivery at absolute time `at`.
+    ///
+    /// Events scheduled for the same time are delivered in the order they
+    /// were scheduled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` precedes the delivery time of the most recently popped
+    /// event: a discrete-event simulation may never schedule into its past.
+    pub fn schedule(&mut self, at: Cycles, event: E) -> EventId {
+        assert!(
+            at >= self.last_popped,
+            "cannot schedule event at {at}, simulation time already at {}",
+            self.last_popped
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse((at, seq)));
+        self.live.insert(seq, event);
+        EventId(seq)
+    }
+
+    /// Cancels a pending event.
+    ///
+    /// Returns `true` if the event was still pending (and is now dropped),
+    /// `false` if it had already been delivered or cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        self.live.remove(&id.0).is_some()
+    }
+
+    /// `true` if the event is still pending.
+    pub fn is_pending(&self, id: EventId) -> bool {
+        self.live.contains_key(&id.0)
+    }
+
+    /// Removes and returns the earliest pending event with its time, or
+    /// `None` if the queue is empty.
+    pub fn pop(&mut self) -> Option<(Cycles, E)> {
+        while let Some(Reverse((at, seq))) = self.heap.pop() {
+            if let Some(ev) = self.live.remove(&seq) {
+                self.last_popped = at;
+                return Some((at, ev));
+            }
+            // Tombstone from a cancelled event: skip.
+        }
+        None
+    }
+
+    /// The delivery time of the earliest pending event, without removing it.
+    pub fn peek_time(&mut self) -> Option<Cycles> {
+        while let Some(&Reverse((at, seq))) = self.heap.peek() {
+            if self.live.contains_key(&seq) {
+                return Some(at);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// The delivery time of the most recently popped event — the current
+    /// simulation time from the queue's perspective.
+    pub fn now(&self) -> Cycles {
+        self.last_popped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delivers_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycles::new(30), 'c');
+        q.schedule(Cycles::new(10), 'a');
+        q.schedule(Cycles::new(20), 'b');
+        let order: Vec<char> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn fifo_among_equal_times() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(Cycles::new(5), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_prevents_delivery() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(Cycles::new(1), "a");
+        let b = q.schedule(Cycles::new(2), "b");
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel reports false");
+        assert!(q.is_pending(b));
+        assert!(!q.is_pending(a));
+        assert_eq!(q.pop(), Some((Cycles::new(2), "b")));
+        assert!(!q.cancel(b), "cancel after delivery reports false");
+    }
+
+    #[test]
+    fn len_tracks_cancellation() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(Cycles::new(1), ());
+        q.schedule(Cycles::new(2), ());
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_skips_tombstones() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(Cycles::new(1), "a");
+        q.schedule(Cycles::new(5), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(Cycles::new(5)));
+        assert_eq!(q.pop(), Some((Cycles::new(5), "b")));
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn now_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycles::new(7), ());
+        assert_eq!(q.now(), Cycles::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Cycles::new(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule event")]
+    fn scheduling_into_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycles::new(10), ());
+        q.pop();
+        q.schedule(Cycles::new(9), ());
+    }
+
+    #[test]
+    fn scheduling_at_now_is_allowed() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycles::new(10), 1);
+        q.pop();
+        q.schedule(Cycles::new(10), 2);
+        assert_eq!(q.pop(), Some((Cycles::new(10), 2)));
+    }
+
+    #[test]
+    fn hybrid_wakeup_pattern() {
+        // The motivating use: external wake-up beats internal timer; the
+        // loser is cancelled and never delivered.
+        let mut q = EventQueue::new();
+        let internal = q.schedule(Cycles::from_micros(50), "internal");
+        let external = q.schedule(Cycles::from_micros(40), "external");
+        let (_, first) = q.pop().unwrap();
+        assert_eq!(first, "external");
+        assert!(q.is_pending(internal));
+        assert!(!q.is_pending(external));
+        assert!(q.cancel(internal));
+        assert!(q.pop().is_none());
+    }
+}

@@ -1,0 +1,374 @@
+//! Strongly-typed simulation time.
+//!
+//! The machine modeled in the paper (Table 1) runs its processors at a
+//! nominal 1 GHz, so the kernel measures time in [`Cycles`] where one cycle
+//! equals exactly one nanosecond. Keeping the unit in the type system (per
+//! C-NEWTYPE) prevents the classic cycles-vs-nanoseconds confusion when
+//! mixing processor latencies (cycles) with datasheet sleep-state transition
+//! latencies (microseconds).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
+
+/// Absolute simulation time or an unsigned duration, in processor cycles at
+/// the nominal 1 GHz clock (1 cycle = 1 ns).
+///
+/// # Examples
+///
+/// ```
+/// use tb_sim::Cycles;
+///
+/// let t = Cycles::from_micros(10); // a 10 µs sleep transition
+/// assert_eq!(t.as_u64(), 10_000);
+/// assert_eq!(t + Cycles::new(500), Cycles::new(10_500));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Cycles(u64);
+
+/// Nominal processor clock frequency in Hz (Table 1: 1 GHz).
+pub const CLOCK_HZ: u64 = 1_000_000_000;
+
+impl Cycles {
+    /// Zero cycles; the start of simulated time.
+    pub const ZERO: Cycles = Cycles(0);
+    /// The greatest representable time; used as "never" for timers.
+    pub const MAX: Cycles = Cycles(u64::MAX);
+
+    /// Creates a time from a raw cycle count.
+    #[inline]
+    pub const fn new(cycles: u64) -> Self {
+        Cycles(cycles)
+    }
+
+    /// Creates a duration from nanoseconds (1 ns = 1 cycle at 1 GHz).
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        Cycles(ns)
+    }
+
+    /// Creates a duration from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        Cycles(us * 1_000)
+    }
+
+    /// Creates a duration from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        Cycles(ms * 1_000_000)
+    }
+
+    /// Creates a duration from seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        Cycles(s * 1_000_000_000)
+    }
+
+    /// Raw cycle count.
+    #[inline]
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// The duration expressed in (fractional) seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / CLOCK_HZ as f64
+    }
+
+    /// The duration expressed in (fractional) microseconds.
+    #[inline]
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Saturating subtraction: `self - rhs`, or zero if `rhs` is later.
+    #[inline]
+    pub fn saturating_sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked subtraction, `None` when `rhs > self`.
+    #[inline]
+    pub fn checked_sub(self, rhs: Cycles) -> Option<Cycles> {
+        self.0.checked_sub(rhs.0).map(Cycles)
+    }
+
+    /// Signed difference `self - rhs`.
+    ///
+    /// A positive result means `self` is later than `rhs`; the paper's
+    /// overprediction penalty (§3.3.3) is exactly
+    /// `wakeup_timestamp.delta(release_timestamp)` being positive.
+    #[inline]
+    pub fn delta(self, rhs: Cycles) -> TimeDelta {
+        TimeDelta(self.0 as i128 - rhs.0 as i128)
+    }
+
+    /// The later of two times.
+    #[inline]
+    pub fn max(self, other: Cycles) -> Cycles {
+        Cycles(self.0.max(other.0))
+    }
+
+    /// The earlier of two times.
+    #[inline]
+    pub fn min(self, other: Cycles) -> Cycles {
+        Cycles(self.0.min(other.0))
+    }
+
+    /// Scales the duration by a non-negative float, rounding to nearest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    #[inline]
+    pub fn scale(self, factor: f64) -> Cycles {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "scale factor must be finite and non-negative, got {factor}"
+        );
+        Cycles((self.0 as f64 * factor).round() as u64)
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns >= 1_000_000_000 {
+            write!(f, "{:.3}s", ns as f64 / 1e9)
+        } else if ns >= 1_000_000 {
+            write!(f, "{:.3}ms", ns as f64 / 1e6)
+        } else if ns >= 1_000 {
+            write!(f, "{:.3}us", ns as f64 / 1e3)
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+impl Add for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Cycles {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Cycles {
+    type Output = Cycles;
+    /// # Panics
+    ///
+    /// Panics in debug builds on underflow; use
+    /// [`Cycles::saturating_sub`] or [`Cycles::delta`] when the ordering is
+    /// not statically known.
+    #[inline]
+    fn sub(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Cycles {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Cycles) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn mul(self, rhs: u64) -> Cycles {
+        Cycles(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for Cycles {
+    type Output = Cycles;
+    #[inline]
+    fn div(self, rhs: u64) -> Cycles {
+        Cycles(self.0 / rhs)
+    }
+}
+
+impl Rem<u64> for Cycles {
+    type Output = u64;
+    #[inline]
+    fn rem(self, rhs: u64) -> u64 {
+        self.0 % rhs
+    }
+}
+
+impl Sum for Cycles {
+    fn sum<I: Iterator<Item = Cycles>>(iter: I) -> Cycles {
+        iter.fold(Cycles::ZERO, Add::add)
+    }
+}
+
+impl From<u64> for Cycles {
+    fn from(v: u64) -> Self {
+        Cycles(v)
+    }
+}
+
+/// Signed time difference in cycles, produced by [`Cycles::delta`].
+///
+/// 128-bit so that no subtraction of two valid `Cycles` can overflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct TimeDelta(i128);
+
+impl TimeDelta {
+    /// A delta of zero.
+    pub const ZERO: TimeDelta = TimeDelta(0);
+
+    /// Raw signed cycle count.
+    #[inline]
+    pub const fn as_i128(self) -> i128 {
+        self.0
+    }
+
+    /// `true` when the delta is strictly positive (a *late* event).
+    #[inline]
+    pub const fn is_positive(self) -> bool {
+        self.0 > 0
+    }
+
+    /// `true` when the delta is strictly negative (an *early* event).
+    #[inline]
+    pub const fn is_negative(self) -> bool {
+        self.0 < 0
+    }
+
+    /// Magnitude as an unsigned duration.
+    #[inline]
+    pub fn abs(self) -> Cycles {
+        Cycles(self.0.unsigned_abs() as u64)
+    }
+
+    /// The positive part: the delta when positive, else zero.
+    ///
+    /// This is the paper's overprediction *penalty*: how much later than the
+    /// barrier release the thread woke up.
+    #[inline]
+    pub fn late_by(self) -> Cycles {
+        if self.0 > 0 {
+            Cycles(self.0 as u64)
+        } else {
+            Cycles::ZERO
+        }
+    }
+}
+
+impl fmt::Display for TimeDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 0 {
+            write!(f, "-{}", self.abs())
+        } else {
+            write!(f, "+{}", self.abs())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree_on_units() {
+        assert_eq!(Cycles::from_micros(1), Cycles::new(1_000));
+        assert_eq!(Cycles::from_millis(1), Cycles::from_micros(1_000));
+        assert_eq!(Cycles::from_secs(1), Cycles::from_millis(1_000));
+        assert_eq!(Cycles::from_nanos(7), Cycles::new(7));
+    }
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let a = Cycles::new(100);
+        let b = Cycles::new(40);
+        assert_eq!(a + b - b, a);
+        assert_eq!(a * 3 / 3, a);
+        assert_eq!((a + b) % 7, 140 % 7);
+        let mut c = a;
+        c += b;
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn saturating_and_checked_sub() {
+        let a = Cycles::new(5);
+        let b = Cycles::new(9);
+        assert_eq!(a.saturating_sub(b), Cycles::ZERO);
+        assert_eq!(b.saturating_sub(a), Cycles::new(4));
+        assert_eq!(a.checked_sub(b), None);
+        assert_eq!(b.checked_sub(a), Some(Cycles::new(4)));
+    }
+
+    #[test]
+    fn delta_signs_and_late_by() {
+        let release = Cycles::new(1_000);
+        let woke_late = Cycles::new(1_250);
+        let woke_early = Cycles::new(900);
+        assert!(woke_late.delta(release).is_positive());
+        assert_eq!(woke_late.delta(release).late_by(), Cycles::new(250));
+        assert!(woke_early.delta(release).is_negative());
+        assert_eq!(woke_early.delta(release).late_by(), Cycles::ZERO);
+        assert_eq!(woke_early.delta(release).abs(), Cycles::new(100));
+    }
+
+    #[test]
+    fn scale_rounds_to_nearest() {
+        assert_eq!(Cycles::new(10).scale(0.25), Cycles::new(3)); // 2.5 rounds to 3
+        assert_eq!(Cycles::new(1000).scale(1.5), Cycles::new(1500));
+        assert_eq!(Cycles::new(123).scale(0.0), Cycles::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factor")]
+    fn scale_rejects_negative() {
+        let _ = Cycles::new(1).scale(-1.0);
+    }
+
+    #[test]
+    fn display_picks_readable_unit() {
+        assert_eq!(Cycles::new(12).to_string(), "12ns");
+        assert_eq!(Cycles::from_micros(10).to_string(), "10.000us");
+        assert_eq!(Cycles::from_millis(3).to_string(), "3.000ms");
+        assert_eq!(Cycles::from_secs(2).to_string(), "2.000s");
+        assert_eq!(Cycles::new(1_250).to_string(), "1.250us");
+    }
+
+    #[test]
+    fn delta_display() {
+        assert_eq!(Cycles::new(10).delta(Cycles::new(4)).to_string(), "+6ns");
+        assert_eq!(Cycles::new(4).delta(Cycles::new(10)).to_string(), "-6ns");
+    }
+
+    #[test]
+    fn sum_of_cycles() {
+        let total: Cycles = [1u64, 2, 3].into_iter().map(Cycles::new).sum();
+        assert_eq!(total, Cycles::new(6));
+    }
+
+    #[test]
+    fn float_views() {
+        assert!((Cycles::from_secs(2).as_secs_f64() - 2.0).abs() < 1e-12);
+        assert!((Cycles::from_micros(5).as_micros_f64() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Cycles::new(3);
+        let b = Cycles::new(8);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+}

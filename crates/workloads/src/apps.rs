@@ -1,0 +1,447 @@
+//! The ten SPLASH-2 application models (Table 2 of the paper).
+//!
+//! Each model reproduces the statistics the thrifty barrier is sensitive
+//! to, with per-app quirks taken from the paper's text:
+//!
+//! * **Volrend** — the most imbalanced application (48.2 %), with large
+//!   barrier interval times; the ideal scenario for deep sleep states
+//!   (§5.2: "the application that benefits the most from deeper sleep
+//!   states is Volrend").
+//! * **Radix, FMM, Barnes, Water-Nsq** — the remaining *target*
+//!   applications (imbalance ≥ 10 %). FMM's three main-loop barriers have
+//!   distinct interval times, the structure plotted in Figure 3.
+//! * **Water-Sp, Radiosity** — well balanced; thrifty ≈ baseline.
+//! * **Ocean** — many frequently-invoked barriers whose interval times
+//!   "can swing significantly across instances" (§5.2), defeating
+//!   last-value prediction; the application that needs the §3.3.3 cut-off.
+//! * **FFT, Cholesky** — "only a handful of non-repeating barriers, which
+//!   leaves Thrifty's PC-indexed predictor unused" (§5.1); thrifty behaves
+//!   exactly like baseline.
+//!
+//! Dirty-line footprints are largest for FMM, Water-Nsq, and Ocean, the
+//! three applications whose Compute segment visibly grows under deep
+//! sleep states in Figure 5 ("mainly due to cache flush overheads").
+
+use crate::spec::{AppSpec, PhaseSpec, Variability};
+use tb_sim::Cycles;
+
+fn stable(jitter: f64) -> Variability {
+    Variability::Stable { jitter }
+}
+
+fn phases(base_pc: u64, specs: &[(u64, u32, Variability)]) -> Vec<PhaseSpec> {
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, &(us, dirty, var))| {
+            PhaseSpec::new(base_pc + i as u64, Cycles::from_micros(us), dirty, var)
+        })
+        .collect()
+}
+
+impl AppSpec {
+    /// All ten applications, in Table 2's order (descending barrier
+    /// imbalance).
+    pub fn splash2() -> Vec<AppSpec> {
+        vec![
+            AppSpec::volrend(),
+            AppSpec::radix(),
+            AppSpec::fmm(),
+            AppSpec::barnes(),
+            AppSpec::water_nsq(),
+            AppSpec::water_sp(),
+            AppSpec::ocean(),
+            AppSpec::fft(),
+            AppSpec::cholesky(),
+            AppSpec::radiosity(),
+        ]
+    }
+
+    /// Looks an application up by its Table 2 name.
+    pub fn by_name(name: &str) -> Option<AppSpec> {
+        AppSpec::splash2().into_iter().find(|a| a.name == name)
+    }
+
+    /// The five *target* applications (imbalance ≥ 10 %).
+    pub fn targets() -> Vec<AppSpec> {
+        AppSpec::splash2().into_iter().filter(|a| a.is_target()).collect()
+    }
+
+    /// Volrend: volume rendering, `head` input. Highly imbalanced ray
+    /// work, long frames.
+    pub fn volrend() -> AppSpec {
+        AppSpec {
+            name: "Volrend".into(),
+            problem_size: "head".into(),
+            target_imbalance: 0.4820,
+            setup_phases: phases(0x1100, &[(9000, 32, stable(0.02))]),
+            loop_phases: phases(
+                0x1200,
+                &[(42000, 48, stable(0.03)), (26000, 48, stable(0.03))],
+            ),
+            iterations: 24,
+            skew: 3.0,
+        }
+    }
+
+    /// Radix: parallel radix sort, 1M integers, radix 1024.
+    pub fn radix() -> AppSpec {
+        AppSpec {
+            name: "Radix".into(),
+            problem_size: "1M integers, radix 1,024".into(),
+            setup_phases: phases(0x2100, &[(5000, 32, stable(0.02))]),
+            loop_phases: phases(
+                0x2200,
+                &[
+                    (7000, 64, stable(0.02)),
+                    (9000, 64, stable(0.02)),
+                    (5000, 32, stable(0.02)),
+                    (8000, 64, stable(0.02)),
+                ],
+            ),
+            iterations: 18,
+            target_imbalance: 0.1950,
+            skew: 2.0,
+        }
+    }
+
+    /// FMM: fast multipole n-body, 16k particles. The Figure 3 subject:
+    /// three main-loop barriers with clearly distinct interval times.
+    pub fn fmm() -> AppSpec {
+        AppSpec {
+            name: "FMM".into(),
+            problem_size: "16k particles, 8 time steps".into(),
+            setup_phases: phases(0x3100, &[(7000, 64, stable(0.02))]),
+            loop_phases: phases(
+                0x3200,
+                &[
+                    (6000, 192, stable(0.03)),
+                    (18000, 192, stable(0.03)),
+                    (10000, 128, stable(0.03)),
+                ],
+            ),
+            iterations: 32,
+            target_imbalance: 0.1656,
+            skew: 2.0,
+        }
+    }
+
+    /// Barnes: Barnes-Hut n-body, 16k particles. Work drifts slowly as the
+    /// bodies cluster.
+    pub fn barnes() -> AppSpec {
+        AppSpec {
+            name: "Barnes".into(),
+            problem_size: "16k particles, 8 time steps".into(),
+            setup_phases: phases(0x4100, &[(6000, 48, stable(0.02))]),
+            loop_phases: phases(
+                0x4200,
+                &[
+                    (
+                        13000,
+                        96,
+                        Variability::Drift {
+                            per_iter: 0.004,
+                            jitter: 0.03,
+                        },
+                    ),
+                    (8000, 64, stable(0.03)),
+                    (10000, 64, stable(0.03)),
+                ],
+            ),
+            iterations: 24,
+            target_imbalance: 0.1593,
+            skew: 2.0,
+        }
+    }
+
+    /// Water-Nsq: O(n²) molecular dynamics, 512 molecules. Large dirty
+    /// working set per phase (pairwise force updates).
+    pub fn water_nsq() -> AppSpec {
+        AppSpec {
+            name: "Water-Nsq".into(),
+            problem_size: "512 molecules, 12 time steps".into(),
+            setup_phases: phases(0x5100, &[(5000, 64, stable(0.02))]),
+            loop_phases: phases(
+                0x5200,
+                &[
+                    (14000, 256, stable(0.02)),
+                    (9000, 192, stable(0.02)),
+                    (11000, 128, stable(0.02)),
+                ],
+            ),
+            iterations: 24,
+            target_imbalance: 0.1290,
+            skew: 2.0,
+        }
+    }
+
+    /// Water-Sp: spatial-decomposition molecular dynamics; better balanced
+    /// than Water-Nsq.
+    pub fn water_sp() -> AppSpec {
+        AppSpec {
+            name: "Water-Sp".into(),
+            problem_size: "512 molecules, 12 time steps".into(),
+            setup_phases: phases(0x6100, &[(5000, 48, stable(0.02))]),
+            loop_phases: phases(
+                0x6200,
+                &[
+                    (11000, 96, stable(0.02)),
+                    (8000, 64, stable(0.02)),
+                    (9000, 64, stable(0.02)),
+                ],
+            ),
+            iterations: 24,
+            target_imbalance: 0.0979,
+            skew: 2.0,
+        }
+    }
+
+    /// Ocean: grid-based ocean currents, 514×514. Many short, frequently
+    /// invoked barriers whose interval times swing bimodally — the
+    /// workload that punishes overprediction (§5.2).
+    pub fn ocean() -> AppSpec {
+        // Short, frequently-invoked barriers: most instances drop to
+        // ~100-160 µs, where an exposed exit transition (up to 35 µs) is a
+        // double-digit fraction of the interval — the regime in which
+        // §3.3.3's cut-off earns its keep.
+        let swing = Variability::Swing {
+            low_scale: 0.18,
+            low_prob: 0.55,
+            jitter: 0.04,
+        };
+        AppSpec {
+            name: "Ocean".into(),
+            problem_size: "514 by 514 ocean".into(),
+            setup_phases: phases(0x7100, &[(400, 64, stable(0.02))]),
+            loop_phases: phases(
+                0x7200,
+                &[
+                    (900, 192, swing),
+                    (600, 128, swing),
+                    (750, 128, swing),
+                    (500, 96, swing),
+                    (850, 128, swing),
+                    (650, 96, swing),
+                ],
+            ),
+            iterations: 28,
+            target_imbalance: 0.0760,
+            skew: 2.0,
+        }
+    }
+
+    /// FFT: six one-shot transpose/compute steps; every barrier site
+    /// executes exactly once, so PC-indexed prediction never has history.
+    pub fn fft() -> AppSpec {
+        AppSpec {
+            name: "FFT".into(),
+            problem_size: "64k points".into(),
+            setup_phases: phases(
+                0x8100,
+                &[
+                    (5000, 64, stable(0.02)),
+                    (8000, 96, stable(0.02)),
+                    (7000, 96, stable(0.02)),
+                    (8000, 96, stable(0.02)),
+                    (6000, 64, stable(0.02)),
+                    (5000, 64, stable(0.02)),
+                ],
+            ),
+            loop_phases: vec![],
+            iterations: 0,
+            target_imbalance: 0.0382,
+            skew: 2.0,
+        }
+    }
+
+    /// Cholesky: sparse factorization, tk15; a handful of non-repeating
+    /// barriers around task-queue phases.
+    pub fn cholesky() -> AppSpec {
+        AppSpec {
+            name: "Cholesky".into(),
+            problem_size: "tk15".into(),
+            setup_phases: phases(
+                0x9100,
+                &[
+                    (7000, 64, stable(0.02)),
+                    (12000, 96, stable(0.02)),
+                    (9000, 64, stable(0.02)),
+                    (8000, 64, stable(0.02)),
+                    (6000, 48, stable(0.02)),
+                ],
+            ),
+            loop_phases: vec![],
+            iterations: 0,
+            target_imbalance: 0.0164,
+            skew: 2.0,
+        }
+    }
+
+    /// Radiosity: task-stealing global illumination; nearly perfectly
+    /// balanced.
+    pub fn radiosity() -> AppSpec {
+        AppSpec {
+            name: "Radiosity".into(),
+            problem_size: "room -ae 5000.0 -en 0.05 -bf 0.1".into(),
+            setup_phases: phases(0xa100, &[(5000, 32, stable(0.02))]),
+            loop_phases: phases(
+                0xa200,
+                &[(8000, 48, stable(0.02)), (7000, 48, stable(0.02))],
+            ),
+            iterations: 22,
+            target_imbalance: 0.0104,
+            skew: 1.5,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ten_apps_in_table2_order() {
+        let apps = AppSpec::splash2();
+        let names: Vec<&str> = apps.iter().map(|a| a.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Volrend",
+                "Radix",
+                "FMM",
+                "Barnes",
+                "Water-Nsq",
+                "Water-Sp",
+                "Ocean",
+                "FFT",
+                "Cholesky",
+                "Radiosity"
+            ]
+        );
+        // Descending imbalance, as in Table 2.
+        for w in apps.windows(2) {
+            assert!(w[0].target_imbalance > w[1].target_imbalance);
+        }
+    }
+
+    #[test]
+    fn table2_imbalance_values() {
+        let get = |n: &str| AppSpec::by_name(n).unwrap().target_imbalance;
+        assert_eq!(get("Volrend"), 0.4820);
+        assert_eq!(get("Radix"), 0.1950);
+        assert_eq!(get("FMM"), 0.1656);
+        assert_eq!(get("Barnes"), 0.1593);
+        assert_eq!(get("Water-Nsq"), 0.1290);
+        assert_eq!(get("Water-Sp"), 0.0979);
+        assert_eq!(get("Ocean"), 0.0760);
+        assert_eq!(get("FFT"), 0.0382);
+        assert_eq!(get("Cholesky"), 0.0164);
+        assert_eq!(get("Radiosity"), 0.0104);
+    }
+
+    #[test]
+    fn exactly_five_targets() {
+        let targets = AppSpec::targets();
+        assert_eq!(targets.len(), 5);
+        assert!(targets.iter().all(|a| a.target_imbalance >= 0.10));
+        assert_eq!(targets[0].name, "Volrend");
+        assert_eq!(targets[4].name, "Water-Nsq");
+    }
+
+    #[test]
+    fn all_specs_validate() {
+        for app in AppSpec::splash2() {
+            app.validate();
+        }
+    }
+
+    #[test]
+    fn pcs_globally_unique_across_apps() {
+        let mut seen = HashSet::new();
+        for app in AppSpec::splash2() {
+            for p in app.setup_phases.iter().chain(&app.loop_phases) {
+                assert!(seen.insert(p.pc), "duplicate pc {:#x}", p.pc);
+            }
+        }
+    }
+
+    #[test]
+    fn fft_and_cholesky_have_only_one_shot_barriers() {
+        for name in ["FFT", "Cholesky"] {
+            let app = AppSpec::by_name(name).unwrap();
+            assert!(app.loop_phases.is_empty(), "{name} must not repeat barriers");
+            assert!(app.setup_phases.len() >= 5, "{name} has a handful of barriers");
+        }
+    }
+
+    #[test]
+    fn ocean_swings_and_others_do_not() {
+        let ocean = AppSpec::by_name("Ocean").unwrap();
+        assert!(ocean
+            .loop_phases
+            .iter()
+            .all(|p| matches!(p.variability, Variability::Swing { .. })));
+        let fmm = AppSpec::by_name("FMM").unwrap();
+        assert!(fmm
+            .loop_phases
+            .iter()
+            .all(|p| matches!(p.variability, Variability::Stable { .. })));
+    }
+
+    #[test]
+    fn fmm_has_three_distinct_loop_barriers_for_figure3() {
+        let fmm = AppSpec::by_name("FMM").unwrap();
+        assert_eq!(fmm.loop_phases.len(), 3);
+        let intervals: HashSet<u64> = fmm
+            .loop_phases
+            .iter()
+            .map(|p| p.base_interval.as_u64())
+            .collect();
+        assert_eq!(intervals.len(), 3, "Figure 3 needs distinct BITs");
+    }
+
+    #[test]
+    fn volrend_has_large_intervals() {
+        let volrend = AppSpec::by_name("Volrend").unwrap();
+        let max = volrend
+            .loop_phases
+            .iter()
+            .map(|p| p.base_interval)
+            .max()
+            .unwrap();
+        assert!(max >= tb_sim::Cycles::from_millis(4));
+    }
+
+    #[test]
+    fn flush_heavy_apps_have_big_dirty_footprints() {
+        for name in ["FMM", "Water-Nsq", "Ocean"] {
+            let app = AppSpec::by_name(name).unwrap();
+            let max_dirty = app.loop_phases.iter().map(|p| p.dirty_lines).max().unwrap();
+            assert!(max_dirty >= 128, "{name} should stress the flush path");
+        }
+    }
+
+    #[test]
+    fn by_name_unknown_is_none() {
+        assert!(AppSpec::by_name("Raytrace").is_none(), "excluded by the paper");
+        assert!(AppSpec::by_name("LU").is_none(), "excluded by the paper");
+    }
+
+    #[test]
+    fn calibration_hits_table2_for_every_app() {
+        // The headline property of the workload substrate: measured
+        // baseline imbalance matches Table 2 within a small tolerance.
+        for app in AppSpec::splash2() {
+            let trace = app.generate(64, 42);
+            let got = trace.analytic_imbalance();
+            assert!(
+                (got - app.target_imbalance).abs() < 0.01,
+                "{}: imbalance {:.4} vs Table 2 {:.4}",
+                app.name,
+                got,
+                app.target_imbalance
+            );
+        }
+    }
+}

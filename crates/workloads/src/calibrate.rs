@@ -1,0 +1,108 @@
+//! Calibration of the imbalance spread.
+//!
+//! For each application we must choose the work-spread `w` so that the
+//! generated trace's *measured* baseline barrier imbalance equals the
+//! paper's Table 2 value. The mapping `w → imbalance` is monotone (more
+//! spread, more stall) and continuous for a fixed random stream, so a
+//! simple bisection over `w ∈ [0, 1)` converges quickly. The measurement
+//! used during calibration is [`crate::AppTrace::analytic_imbalance`],
+//! which matches the full machine simulation to well under a percentage
+//! point because barrier entry/exit overheads are microseconds against
+//! millisecond intervals.
+
+use crate::spec::AppSpec;
+
+/// Upper bound of the spread parameter (exclusive); at `w → 1` every
+/// thread's work goes to zero except the stragglers'.
+const W_MAX: f64 = 0.999;
+
+/// Bisection iterations; 40 halvings of `[0,1]` reach ~1e-12 resolution.
+const ITERATIONS: u32 = 40;
+
+/// Solves the spread `w` for which the generated trace's imbalance matches
+/// `spec.target_imbalance`.
+///
+/// # Panics
+///
+/// Panics if the target is unreachable even at the maximum spread (the
+/// spec validation bounds make this impossible for sane skews, but a
+/// pathological spec with `skew` enormous could trip it).
+pub fn calibrate_spread(spec: &AppSpec, threads: usize, seed: u64) -> f64 {
+    let imbalance_at = |w: f64| {
+        spec.generate_with_spread(threads, seed, w)
+            .analytic_imbalance()
+    };
+    let target = spec.target_imbalance;
+    let at_max = imbalance_at(W_MAX);
+    assert!(
+        at_max >= target,
+        "{}: target imbalance {target:.3} unreachable (max {at_max:.3}); \
+         reduce skew or target",
+        spec.name
+    );
+    let (mut lo, mut hi) = (0.0_f64, W_MAX);
+    for _ in 0..ITERATIONS {
+        let mid = 0.5 * (lo + hi);
+        if imbalance_at(mid) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{PhaseSpec, Variability};
+    use tb_sim::Cycles;
+
+    fn spec(target: f64) -> AppSpec {
+        AppSpec {
+            name: "Cal".into(),
+            problem_size: "x".into(),
+            target_imbalance: target,
+            setup_phases: vec![],
+            loop_phases: vec![PhaseSpec::new(
+                1,
+                Cycles::from_micros(1000),
+                0,
+                Variability::Stable { jitter: 0.0 },
+            )],
+            iterations: 30,
+            skew: 2.0,
+        }
+    }
+
+    #[test]
+    fn hits_low_and_high_targets() {
+        for target in [0.01, 0.05, 0.16, 0.30, 0.482] {
+            let s = spec(target);
+            let w = calibrate_spread(&s, 64, 11);
+            let got = s.generate_with_spread(64, 11, w).analytic_imbalance();
+            assert!(
+                (got - target).abs() < 0.005,
+                "target {target}: got {got} at w={w}"
+            );
+        }
+    }
+
+    #[test]
+    fn spread_grows_with_target() {
+        let w_small = calibrate_spread(&spec(0.05), 32, 3);
+        let w_large = calibrate_spread(&spec(0.30), 32, 3);
+        assert!(w_small < w_large);
+    }
+
+    #[test]
+    fn calibration_is_thread_count_aware() {
+        // The same target should be achievable at different machine sizes.
+        for threads in [16, 32, 64] {
+            let s = spec(0.20);
+            let w = calibrate_spread(&s, threads, 5);
+            let got = s.generate_with_spread(threads, 5, w).analytic_imbalance();
+            assert!((got - 0.20).abs() < 0.01, "threads={threads}: {got}");
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! Application and phase descriptions.
+//!
+//! An application is a sequence of *setup* phases (each ending at a unique,
+//! non-repeating barrier site) followed by a main loop of phases whose
+//! barrier sites repeat every iteration — the SPMD structure §3.2 of the
+//! paper exploits for PC-indexed prediction.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use tb_sim::Cycles;
+
+/// How a phase's interval time varies across dynamic instances.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Variability {
+    /// Stable interval with small multiplicative Gaussian jitter
+    /// (`scale = 1 + jitter·N(0,1)`, clamped). Last-value prediction works
+    /// well here.
+    Stable {
+        /// Standard deviation of the multiplicative jitter (e.g. 0.03).
+        jitter: f64,
+    },
+    /// Bimodal swings: with probability `low_prob` an instance shrinks to
+    /// `low_scale` of the base. This is Ocean's pattern (§5.2): last-value
+    /// prediction "overkills" after a long instance is followed by a short
+    /// one.
+    Swing {
+        /// Interval multiplier of the short mode (e.g. 0.12).
+        low_scale: f64,
+        /// Probability of the short mode per instance.
+        low_prob: f64,
+        /// Residual jitter applied on top.
+        jitter: f64,
+    },
+    /// Slow multiplicative drift across iterations (`scale = (1 +
+    /// per_iter)^iteration`), as work grows or shrinks over time steps.
+    Drift {
+        /// Per-iteration growth rate (may be negative).
+        per_iter: f64,
+        /// Residual jitter applied on top.
+        jitter: f64,
+    },
+}
+
+impl Variability {
+    /// The deterministic part of the instance scale (jitter excluded).
+    pub fn base_scale(&self, iteration: u32, is_low: bool) -> f64 {
+        match *self {
+            Variability::Stable { .. } => 1.0,
+            Variability::Swing { low_scale, .. } => {
+                if is_low {
+                    low_scale
+                } else {
+                    1.0
+                }
+            }
+            Variability::Drift { per_iter, .. } => (1.0 + per_iter).powi(iteration as i32),
+        }
+    }
+
+    /// The jitter magnitude.
+    pub fn jitter(&self) -> f64 {
+        match *self {
+            Variability::Stable { jitter }
+            | Variability::Swing { jitter, .. }
+            | Variability::Drift { jitter, .. } => jitter,
+        }
+    }
+}
+
+/// One compute phase ending at a barrier site.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseSpec {
+    /// The barrier's program counter (site identifier).
+    pub pc: u64,
+    /// Mean interval time of the phase (compute + stall of the average
+    /// instance) before imbalance spreading.
+    pub base_interval: Cycles,
+    /// Dirty shared cache lines each thread produces during the phase —
+    /// what a deep-sleep flush must write back.
+    pub dirty_lines: u32,
+    /// Instance-to-instance variability model.
+    pub variability: Variability,
+}
+
+impl PhaseSpec {
+    /// Creates a phase.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base_interval` is zero.
+    pub fn new(pc: u64, base_interval: Cycles, dirty_lines: u32, variability: Variability) -> Self {
+        assert!(
+            base_interval > Cycles::ZERO,
+            "phase {pc:#x}: base interval must be positive"
+        );
+        PhaseSpec {
+            pc,
+            base_interval,
+            dirty_lines,
+            variability,
+        }
+    }
+}
+
+/// A complete application model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppSpec {
+    /// Application name as in Table 2 ("Volrend", "Radix", …).
+    pub name: String,
+    /// Problem size string from Table 2 (for the regenerated table).
+    pub problem_size: String,
+    /// Table 2 barrier imbalance, as a fraction (0.482 for Volrend).
+    pub target_imbalance: f64,
+    /// One-shot phases executed before the main loop; each site runs once.
+    pub setup_phases: Vec<PhaseSpec>,
+    /// Phases of the main loop; each site runs `iterations` times.
+    pub loop_phases: Vec<PhaseSpec>,
+    /// Main-loop iteration count.
+    pub iterations: u32,
+    /// Skew exponent of the per-thread work distribution: thread work
+    /// `X = U^skew` for `U ~ Uniform[0,1)`. Higher skew concentrates the
+    /// imbalance in fewer straggler threads.
+    pub skew: f64,
+}
+
+impl AppSpec {
+    /// Total number of dynamic barrier instances.
+    pub fn total_instances(&self) -> usize {
+        self.setup_phases.len() + self.loop_phases.len() * self.iterations as usize
+    }
+
+    /// Number of static barrier sites.
+    pub fn total_sites(&self) -> usize {
+        self.setup_phases.len() + self.loop_phases.len()
+    }
+
+    /// `true` when the app is one of the paper's five *target*
+    /// applications (barrier imbalance ≥ 10 %).
+    pub fn is_target(&self) -> bool {
+        self.target_imbalance >= 0.10
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec has no phases, duplicate site PCs, a target
+    /// imbalance outside `(0, 0.66)` (the model's saturation limit), or a
+    /// zero iteration count with loop phases present.
+    pub fn validate(&self) {
+        assert!(
+            self.total_sites() > 0,
+            "{}: an application needs at least one barrier",
+            self.name
+        );
+        assert!(
+            self.target_imbalance > 0.0 && self.target_imbalance < 0.66,
+            "{}: target imbalance {} outside the model's range",
+            self.name,
+            self.target_imbalance
+        );
+        if !self.loop_phases.is_empty() {
+            assert!(
+                self.iterations > 0,
+                "{}: loop phases present but zero iterations",
+                self.name
+            );
+        }
+        let mut pcs: Vec<u64> = self
+            .setup_phases
+            .iter()
+            .chain(&self.loop_phases)
+            .map(|p| p.pc)
+            .collect();
+        pcs.sort_unstable();
+        let before = pcs.len();
+        pcs.dedup();
+        assert_eq!(before, pcs.len(), "{}: duplicate barrier PCs", self.name);
+        assert!(self.skew >= 1.0, "{}: skew must be >= 1", self.name);
+    }
+}
+
+impl fmt::Display for AppSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({}): {} sites, {} instances, target imbalance {:.2}%",
+            self.name,
+            self.problem_size,
+            self.total_sites(),
+            self.total_instances(),
+            self.target_imbalance * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phase(pc: u64) -> PhaseSpec {
+        PhaseSpec::new(
+            pc,
+            Cycles::from_micros(500),
+            32,
+            Variability::Stable { jitter: 0.02 },
+        )
+    }
+
+    fn spec() -> AppSpec {
+        AppSpec {
+            name: "Test".into(),
+            problem_size: "tiny".into(),
+            target_imbalance: 0.15,
+            setup_phases: vec![phase(1), phase(2)],
+            loop_phases: vec![phase(10), phase(11), phase(12)],
+            iterations: 4,
+            skew: 2.0,
+        }
+    }
+
+    #[test]
+    fn instance_accounting() {
+        let s = spec();
+        assert_eq!(s.total_sites(), 5);
+        assert_eq!(s.total_instances(), 2 + 3 * 4);
+        s.validate();
+    }
+
+    #[test]
+    fn target_classification() {
+        let mut s = spec();
+        assert!(s.is_target());
+        s.target_imbalance = 0.05;
+        assert!(!s.is_target());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate barrier PCs")]
+    fn duplicate_pcs_rejected() {
+        let mut s = spec();
+        s.loop_phases.push(phase(1));
+        s.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "zero iterations")]
+    fn zero_iterations_with_loop_rejected() {
+        let mut s = spec();
+        s.iterations = 0;
+        s.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the model's range")]
+    fn absurd_imbalance_rejected() {
+        let mut s = spec();
+        s.target_imbalance = 0.9;
+        s.validate();
+    }
+
+    #[test]
+    fn variability_scales() {
+        let st = Variability::Stable { jitter: 0.1 };
+        assert_eq!(st.base_scale(5, false), 1.0);
+        assert_eq!(st.jitter(), 0.1);
+
+        let sw = Variability::Swing {
+            low_scale: 0.2,
+            low_prob: 0.5,
+            jitter: 0.0,
+        };
+        assert_eq!(sw.base_scale(0, true), 0.2);
+        assert_eq!(sw.base_scale(0, false), 1.0);
+
+        let dr = Variability::Drift {
+            per_iter: 0.1,
+            jitter: 0.0,
+        };
+        assert!((dr.base_scale(2, false) - 1.21).abs() < 1e-12);
+        assert_eq!(dr.base_scale(0, false), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "base interval must be positive")]
+    fn zero_interval_rejected() {
+        let _ = PhaseSpec::new(1, Cycles::ZERO, 0, Variability::Stable { jitter: 0.0 });
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let s = spec().to_string();
+        assert!(s.contains("Test"));
+        assert!(s.contains("15.00%"));
+    }
+}

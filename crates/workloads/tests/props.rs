@@ -1,0 +1,119 @@
+//! Property-based tests of workload generation and calibration.
+
+use proptest::prelude::*;
+use tb_sim::Cycles;
+use tb_workloads::{AppSpec, PhaseSpec, Variability};
+
+fn arb_spec() -> impl Strategy<Value = AppSpec> {
+    (
+        1usize..4,              // loop phases
+        1u32..12,               // iterations
+        100u64..5_000,          // base interval µs
+        0.02f64..0.40,          // target imbalance
+        1.0f64..3.0,            // skew
+    )
+        .prop_map(|(phases, iterations, base_us, target, skew)| AppSpec {
+            name: "Prop".into(),
+            problem_size: "prop".into(),
+            target_imbalance: target,
+            setup_phases: vec![],
+            loop_phases: (0..phases)
+                .map(|i| {
+                    PhaseSpec::new(
+                        0x100 + i as u64,
+                        Cycles::from_micros(base_us + i as u64 * 100),
+                        8,
+                        Variability::Stable { jitter: 0.02 },
+                    )
+                })
+                .collect(),
+            iterations,
+            skew,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Generation is a pure function of (spec, threads, seed).
+    #[test]
+    fn generation_deterministic(spec in arb_spec(), seed in any::<u64>()) {
+        let a = spec.generate(8, seed);
+        let b = spec.generate(8, seed);
+        prop_assert_eq!(a, b);
+    }
+
+    /// The trace layout always matches the spec: episode count, per-step
+    /// thread count, positive compute times, and PCs cycling through the
+    /// loop phases.
+    #[test]
+    fn trace_layout_matches_spec(spec in arb_spec(), seed in any::<u64>()) {
+        let threads = 8;
+        let t = spec.generate(threads, seed);
+        prop_assert_eq!(t.len(), spec.total_instances());
+        for (i, step) in t.steps.iter().enumerate() {
+            prop_assert_eq!(step.compute.len(), threads);
+            prop_assert!(step.compute.iter().all(|&c| c > Cycles::ZERO));
+            let phase = &spec.loop_phases[i % spec.loop_phases.len()];
+            prop_assert_eq!(step.pc, phase.pc);
+            prop_assert_eq!(step.dirty_lines, phase.dirty_lines);
+        }
+    }
+
+    /// Calibration hits the requested Table-2-style imbalance within one
+    /// percentage point for any feasible spec.
+    #[test]
+    fn calibration_converges(spec in arb_spec(), seed in any::<u64>()) {
+        let t = spec.generate(32, seed);
+        prop_assert!(
+            (t.analytic_imbalance() - spec.target_imbalance).abs() < 0.01,
+            "target {} got {}",
+            spec.target_imbalance,
+            t.analytic_imbalance()
+        );
+        prop_assert!((0.0..1.0).contains(&t.spread));
+    }
+
+    /// Imbalance is monotone in the spread knob.
+    #[test]
+    fn imbalance_monotone_in_spread(
+        spec in arb_spec(),
+        seed in any::<u64>(),
+        w1 in 0.0f64..0.99,
+        w2 in 0.0f64..0.99,
+    ) {
+        let (lo, hi) = (w1.min(w2), w1.max(w2));
+        prop_assume!(hi - lo > 0.05);
+        let a = spec.generate_with_spread(16, seed, lo).analytic_imbalance();
+        let b = spec.generate_with_spread(16, seed, hi).analytic_imbalance();
+        prop_assert!(a <= b + 1e-9, "imbalance({lo})={a} > imbalance({hi})={b}");
+    }
+
+    /// Per-step stall identities: `ideal_stall(t) = max_compute − compute[t]`
+    /// and the slowest thread has zero stall.
+    #[test]
+    fn stall_identities(spec in arb_spec(), seed in any::<u64>()) {
+        let t = spec.generate(8, seed);
+        for step in &t.steps {
+            let max = step.max_compute();
+            let mut any_zero = false;
+            for (i, &c) in step.compute.iter().enumerate() {
+                prop_assert_eq!(step.ideal_stall(i), max - c);
+                any_zero |= step.ideal_stall(i) == Cycles::ZERO;
+            }
+            prop_assert!(any_zero, "the slowest thread stalls zero");
+        }
+    }
+
+    /// Disturbances only ever lengthen compute times, never shorten them.
+    #[test]
+    fn disturbance_monotone(spec in arb_spec(), seed in any::<u64>(), prob in 0.0f64..1.0) {
+        let t = spec.generate(8, seed);
+        let d = t.with_disturbance(seed ^ 1, prob, Cycles::from_millis(10));
+        for (a, b) in t.steps.iter().zip(&d.steps) {
+            for (ca, cb) in a.compute.iter().zip(&b.compute) {
+                prop_assert!(cb >= ca);
+            }
+        }
+    }
+}

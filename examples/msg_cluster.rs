@@ -1,0 +1,54 @@
+//! The thrifty barrier on a message-passing cluster (the paper's §1/§7
+//! extension): the *unmodified* algorithm drives a coordinator barrier
+//! whose release message both wakes sleepers and carries the measured
+//! interval time.
+//!
+//! ```text
+//! cargo run --release --example msg_cluster [app-name] [nodes]
+//! ```
+
+use thrifty_barrier::core::AlgorithmConfig;
+use thrifty_barrier::energy::EnergyCategory;
+use thrifty_barrier::msg::{ClusterConfig, MsgSimulator};
+use thrifty_barrier::workloads::AppSpec;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "Volrend".to_string());
+    let nodes: u16 = args
+        .next()
+        .map(|s| s.parse().expect("nodes must be a number"))
+        .unwrap_or(64);
+    let app = AppSpec::by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown application {name:?}");
+        std::process::exit(1);
+    });
+    let cluster = ClusterConfig::default_cluster(nodes);
+    println!("== {app}\ncluster: {cluster}\n");
+    let trace = app.generate(nodes as usize, 0x7B41);
+
+    let base = MsgSimulator::new(cluster.clone(), trace.clone(), AlgorithmConfig::baseline()).run();
+    let thrifty = MsgSimulator::new(cluster, trace, AlgorithmConfig::thrifty()).run();
+
+    for (label, r) in [("polling", &base), ("thrifty", &thrifty)] {
+        let e = r.ledger.energy().fractions();
+        println!(
+            "{label:<8} wall {}  energy {:>8.2} J  (compute {:.1}% poll {:.1}% trans {:.1}% sleep {:.1}%)",
+            r.wall_time,
+            r.total_energy(),
+            e[EnergyCategory::Compute] * 100.0,
+            e[EnergyCategory::Spin] * 100.0,
+            e[EnergyCategory::Transition] * 100.0,
+            e[EnergyCategory::Sleep] * 100.0,
+        );
+    }
+    println!(
+        "\nthrifty saves {:.1}% energy at {:+.2}% wall-clock \
+         ({} sleeps: {} timer wake-ups, {} message wake-ups)",
+        thrifty.energy_savings_vs(&base) * 100.0,
+        thrifty.slowdown_vs(&base) * 100.0,
+        thrifty.total_sleeps(),
+        thrifty.internal_wakeups,
+        thrifty.external_wakeups,
+    );
+}

@@ -1,0 +1,73 @@
+//! Quickstart: simulate one SPLASH-2-like application on the paper's
+//! 64-node machine under conventional and thrifty barriers, and compare.
+//!
+//! ```text
+//! cargo run --release --example quickstart [app-name] [threads]
+//! ```
+
+use thrifty_barrier::core::SystemConfig;
+use thrifty_barrier::energy::EnergyCategory;
+use thrifty_barrier::machine::run::{run_config_matrix, PAPER_SEED};
+use thrifty_barrier::workloads::AppSpec;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "FMM".to_string());
+    let threads: u16 = args
+        .next()
+        .map(|s| s.parse().expect("threads must be a number"))
+        .unwrap_or(64);
+    let app = AppSpec::by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown application {name:?}; known apps:");
+        for a in AppSpec::splash2() {
+            eprintln!("  {}", a.name);
+        }
+        std::process::exit(1);
+    });
+
+    println!("== {app}");
+    println!("machine: {threads} nodes (Table 1 latencies), seed {PAPER_SEED:#x}\n");
+
+    let reports = run_config_matrix(&app, threads, PAPER_SEED);
+    let baseline = &reports[0];
+
+    println!(
+        "{:<13} {:>9} {:>10} {:>9}   {}",
+        "config", "energy", "vs base", "time", "energy breakdown (C/S/T/Z %)"
+    );
+    for r in &reports {
+        let e = r.energy_normalized_to(baseline);
+        let t = r.time_normalized_to(baseline);
+        println!(
+            "{:<13} {:>8.1}% {:>9.1}% {:>8.1}%   {:>5.1} {:>5.1} {:>5.1} {:>5.1}",
+            r.config,
+            e.total() * 100.0,
+            r.energy_savings_vs(baseline) * 100.0,
+            t.total() * 100.0,
+            e[EnergyCategory::Compute] * 100.0,
+            e[EnergyCategory::Spin] * 100.0,
+            e[EnergyCategory::Transition] * 100.0,
+            e[EnergyCategory::Sleep] * 100.0,
+        );
+    }
+
+    let thrifty = reports
+        .iter()
+        .find(|r| r.config == SystemConfig::Thrifty.name())
+        .expect("matrix has Thrifty");
+    println!(
+        "\nbaseline barrier imbalance: {:.2}% (Table 2 target: {:.2}%)",
+        baseline.barrier_imbalance() * 100.0,
+        app.target_imbalance * 100.0
+    );
+    println!(
+        "thrifty: {} sleeps ({} internal / {} external wake-ups), {} spins, \
+         {} flushes, mean BIT prediction error {:.1}%",
+        thrifty.counts.total_sleeps(),
+        thrifty.counts.internal_wakeups,
+        thrifty.counts.external_wakeups,
+        thrifty.counts.spins,
+        thrifty.counts.flushes,
+        thrifty.prediction_error.mean() * 100.0
+    );
+}

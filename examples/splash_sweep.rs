@@ -1,0 +1,64 @@
+//! Sweep all ten SPLASH-2-like applications across the five system
+//! configurations — the data behind Figures 5 and 6 of the paper.
+//!
+//! ```text
+//! cargo run --release --example splash_sweep [threads]
+//! ```
+
+use thrifty_barrier::machine::run::{run_config_matrix, PAPER_SEED};
+use thrifty_barrier::workloads::AppSpec;
+
+fn main() {
+    let threads: u16 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("threads must be a number"))
+        .unwrap_or(64);
+
+    println!("{threads}-processor CC-NUMA, seed {PAPER_SEED:#x}\n");
+    println!(
+        "{:<11} {:>8} | {:>7} {:>7} {:>7} {:>7} | {:>7} {:>7}",
+        "app", "imbal", "E:H", "E:O", "E:T", "E:I", "T:T", "slowdn"
+    );
+    println!("{}", "-".repeat(78));
+
+    let mut target_e_halt = Vec::new();
+    let mut target_e_thrifty = Vec::new();
+    let mut target_slowdown = Vec::new();
+
+    for app in AppSpec::splash2() {
+        let reports = run_config_matrix(&app, threads, PAPER_SEED);
+        let base = &reports[0];
+        let norm_e: Vec<f64> = reports
+            .iter()
+            .map(|r| r.energy_normalized_to(base).total() * 100.0)
+            .collect();
+        let thrifty = &reports[3];
+        let slow = thrifty.slowdown_vs(base) * 100.0;
+        println!(
+            "{:<11} {:>7.2}% | {:>6.1}% {:>6.1}% {:>6.1}% {:>6.1}% | {:>6.1}% {:>+6.2}%",
+            app.name,
+            base.barrier_imbalance() * 100.0,
+            norm_e[1],
+            norm_e[2],
+            norm_e[3],
+            norm_e[4],
+            thrifty.time_normalized_to(base).total() * 100.0,
+            slow,
+        );
+        if app.is_target() {
+            target_e_halt.push(1.0 - norm_e[1] / 100.0);
+            target_e_thrifty.push(1.0 - norm_e[3] / 100.0);
+            target_slowdown.push(slow);
+        }
+    }
+
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    println!("{}", "-".repeat(78));
+    println!(
+        "target apps (imbalance >= 10%): Thrifty saves {:.1}% (paper: ~17%), \
+         Thrifty-Halt {:.1}% (paper: ~11%), slowdown {:.2}% (paper: ~2%)",
+        mean(&target_e_thrifty) * 100.0,
+        mean(&target_e_halt) * 100.0,
+        mean(&target_slowdown),
+    );
+}

@@ -1,0 +1,72 @@
+//! The thrifty *lock* (the paper's §7 future work) on real threads:
+//! contended waiters predict their wait per acquisition site and spin
+//! (short waits) or park their core (long waits).
+//!
+//! ```text
+//! cargo run --release --example thrifty_lock [threads] [rounds]
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+use thrifty_barrier::runtime::{LockSite, ThriftyLock};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let threads: usize = args
+        .next()
+        .map(|s| s.parse().expect("threads must be a number"))
+        .unwrap_or(4);
+    let rounds: usize = args
+        .next()
+        .map(|s| s.parse().expect("rounds must be a number"))
+        .unwrap_or(40);
+
+    // Two acquisition sites with very different hold times: a short
+    // critical section (bump a counter) and a long one (simulated I/O).
+    let lock = Arc::new(ThriftyLock::new(0u64));
+    let short_site = LockSite::new(0x1);
+    let long_site = LockSite::new(0x2);
+
+    let started = std::time::Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let l = Arc::clone(&lock);
+            std::thread::spawn(move || {
+                for r in 0..rounds {
+                    {
+                        let mut g = l.lock(short_site);
+                        *g += 1;
+                    }
+                    if (r + t) % threads == 0 {
+                        // This thread holds the lock across "I/O".
+                        let mut g = l.lock(long_site);
+                        *g += 1;
+                        std::thread::sleep(Duration::from_millis(2));
+                    } else {
+                        let mut g = l.lock(long_site);
+                        *g += 1;
+                    }
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let elapsed = started.elapsed();
+    let stats = lock.stats();
+
+    println!("{threads} threads x {rounds} rounds in {elapsed:.2?}");
+    println!("lock stats: {stats}");
+    println!(
+        "learned wait predictions: short site {:?}, long site {:?}",
+        lock.predicted_wait(short_site),
+        lock.predicted_wait(long_site)
+    );
+    println!(
+        "counter: {} (expected {})",
+        *lock.lock(short_site),
+        threads as u64 * rounds as u64 * 2
+    );
+}

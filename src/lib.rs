@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+//! # thrifty-barrier
+//!
+//! A from-scratch reproduction of *"The Thrifty Barrier: Energy-Aware
+//! Synchronization in Shared-Memory Multiprocessors"* (Jian Li, José F.
+//! Martínez, Michael C. Huang; HPCA 2004): the algorithm, the CC-NUMA
+//! multiprocessor simulator it was evaluated on, the energy model, the
+//! workload models, and a real-threads runtime applying the same algorithm
+//! with OS-level sleep analogs.
+//!
+//! The facade re-exports each subsystem under a short path:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`core`] | `tb-core` | the thrifty barrier algorithm: BIT prediction, BRTS timing, sleep policy, wake-up planning |
+//! | [`machine`] | `tb-machine` | the simulated 64-node machine and experiment runners |
+//! | [`mem`] | `tb-mem` | caches, directory MESI coherence, hypercube network |
+//! | [`energy`] | `tb-energy` | Wattch-style power model, sleep states, energy ledgers |
+//! | [`workloads`] | `tb-workloads` | calibrated SPLASH-2-like barrier workloads |
+//! | [`runtime`] | `tb-runtime` | the real-threads thrifty barrier |
+//! | [`msg`] | `tb-msg` | the thrifty barrier on a message-passing cluster |
+//! | [`sim`] | `tb-sim` | discrete-event kernel, statistics, deterministic RNG |
+//!
+//! # Quick start
+//!
+//! ```
+//! use thrifty_barrier::machine::run::run_app;
+//! use thrifty_barrier::core::SystemConfig;
+//! use thrifty_barrier::workloads::AppSpec;
+//!
+//! let app = AppSpec::by_name("FMM").unwrap();
+//! let baseline = run_app(&app, 16, 42, SystemConfig::Baseline);
+//! let thrifty = run_app(&app, 16, 42, SystemConfig::Thrifty);
+//! println!(
+//!     "FMM: thrifty saves {:.1}% energy at {:+.2}% runtime",
+//!     thrifty.energy_savings_vs(&baseline) * 100.0,
+//!     thrifty.slowdown_vs(&baseline) * 100.0,
+//! );
+//! assert!(thrifty.total_energy() < baseline.total_energy());
+//! ```
+
+pub use tb_core as core;
+pub use tb_energy as energy;
+pub use tb_machine as machine;
+pub use tb_mem as mem;
+pub use tb_msg as msg;
+pub use tb_runtime as runtime;
+pub use tb_sim as sim;
+pub use tb_workloads as workloads;

@@ -1,0 +1,206 @@
+//! `thrifty-barrier` — command-line front end to the simulator.
+//!
+//! ```text
+//! thrifty-barrier list
+//! thrifty-barrier run <app> [--nodes N] [--seed S] [--config NAME]
+//! thrifty-barrier sweep [--nodes N] [--seed S]
+//! thrifty-barrier cutoff [--nodes N] [--seed S]
+//! ```
+//!
+//! The full table/figure reproduction lives in the bench targets
+//! (`cargo bench`); this binary is the interactive entry point.
+
+use thrifty_barrier::core::SystemConfig;
+use thrifty_barrier::machine::run::{run_config_matrix, run_trace, run_trace_with, PAPER_SEED};
+use thrifty_barrier::machine::RunReport;
+use thrifty_barrier::workloads::AppSpec;
+
+struct Options {
+    nodes: u16,
+    seed: u64,
+    config: Option<String>,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        nodes: 64,
+        seed: PAPER_SEED,
+        config: None,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--nodes" => {
+                let v = it.next().ok_or("--nodes needs a value")?;
+                opts.nodes = v.parse().map_err(|_| format!("bad node count {v:?}"))?;
+                if !opts.nodes.is_power_of_two() || !(2..=64).contains(&opts.nodes) {
+                    return Err(format!(
+                        "node count must be a power of two in 2..=64, got {}",
+                        opts.nodes
+                    ));
+                }
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                opts.seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?;
+            }
+            "--config" => {
+                opts.config = Some(it.next().ok_or("--config needs a value")?.clone());
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn config_by_name(name: &str) -> Option<SystemConfig> {
+    SystemConfig::ALL
+        .into_iter()
+        .find(|c| c.name().eq_ignore_ascii_case(name) || c.letter().to_string() == name)
+}
+
+fn print_report(r: &RunReport, base: Option<&RunReport>) {
+    println!("{r}");
+    if let Some(base) = base {
+        println!(
+            "  vs baseline: energy {:+.1}%, time {:+.2}%",
+            -r.energy_savings_vs(base) * 100.0,
+            r.slowdown_vs(base) * 100.0
+        );
+    }
+    let c = &r.counts;
+    println!(
+        "  {} episodes, {} sleeps ({} int / {} ext wake-ups, {} early), {} spins, \
+         {} flushes, {} cut-off disables",
+        c.episodes,
+        c.total_sleeps(),
+        c.internal_wakeups,
+        c.external_wakeups,
+        c.early_wakeups,
+        c.spins,
+        c.flushes,
+        c.cutoff_disables
+    );
+}
+
+fn cmd_list() {
+    println!("{:<11} {:<36} {:>10} {:>8}", "app", "problem size", "imbalance", "target");
+    for app in AppSpec::splash2() {
+        println!(
+            "{:<11} {:<36} {:>9.2}% {:>8}",
+            app.name,
+            app.problem_size,
+            app.target_imbalance * 100.0,
+            if app.is_target() { "yes" } else { "no" }
+        );
+    }
+}
+
+fn cmd_run(app_name: &str, opts: &Options) -> Result<(), String> {
+    let app = AppSpec::by_name(app_name)
+        .ok_or_else(|| format!("unknown application {app_name:?} (try `list`)"))?;
+    match &opts.config {
+        Some(name) => {
+            let sys = config_by_name(name)
+                .ok_or_else(|| format!("unknown config {name:?} (Baseline/Thrifty-Halt/Oracle-Halt/Thrifty/Ideal)"))?;
+            let trace = app.generate(opts.nodes as usize, opts.seed);
+            let base = run_trace(&trace, opts.nodes, SystemConfig::Baseline);
+            let r = if sys == SystemConfig::Baseline {
+                base.clone()
+            } else {
+                run_trace(&trace, opts.nodes, sys)
+            };
+            print_report(&r, Some(&base));
+        }
+        None => {
+            let reports = run_config_matrix(&app, opts.nodes, opts.seed);
+            let base = reports[0].clone();
+            for r in &reports {
+                print_report(r, Some(&base));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn cmd_sweep(opts: &Options) {
+    println!(
+        "{:<11} {:>9} | {:>8} {:>8} {:>8} {:>8} | {:>8}",
+        "app", "imbal", "E:Halt", "E:Orac", "E:Thr", "E:Ideal", "slowdn"
+    );
+    for app in AppSpec::splash2() {
+        let reports = run_config_matrix(&app, opts.nodes, opts.seed);
+        let base = &reports[0];
+        let e: Vec<f64> = reports
+            .iter()
+            .map(|r| r.energy_normalized_to(base).total() * 100.0)
+            .collect();
+        println!(
+            "{:<11} {:>8.2}% | {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}% | {:>+7.2}%",
+            app.name,
+            base.barrier_imbalance() * 100.0,
+            e[1],
+            e[2],
+            e[3],
+            e[4],
+            reports[3].slowdown_vs(base) * 100.0
+        );
+    }
+}
+
+fn cmd_cutoff(opts: &Options) {
+    use thrifty_barrier::core::AlgorithmConfig;
+    let app = AppSpec::by_name("Ocean").expect("Ocean exists");
+    let trace = app.generate(opts.nodes as usize, opts.seed);
+    let base = run_trace(&trace, opts.nodes, SystemConfig::Baseline);
+    for (label, th) in [("cut-off off", None), ("cut-off 10%", Some(0.10))] {
+        let cfg = AlgorithmConfig::thrifty().with_overprediction_threshold(th);
+        let r = run_trace_with(&trace, opts.nodes, label, cfg, None);
+        println!(
+            "{label:<13} energy {:>6.1}%  slowdown {:>+6.2}%  disables {}",
+            r.energy_normalized_to(&base).total() * 100.0,
+            r.slowdown_vs(&base) * 100.0,
+            r.counts.cutoff_disables
+        );
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: thrifty-barrier <command> [options]\n\
+         commands:\n  \
+         list                      the ten Table 2 applications\n  \
+         run <app> [--config C]    run one app (all five configs by default)\n  \
+         sweep                     all apps x all configs (Figures 5/6 data)\n  \
+         cutoff                    the Ocean overprediction cut-off story\n\
+         options: --nodes N (power of two <= 64), --seed S"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else { usage() };
+    let result = match command.as_str() {
+        "list" => {
+            cmd_list();
+            Ok(())
+        }
+        "run" => {
+            let Some(app) = args.get(1) else { usage() };
+            match parse_options(&args[2..]) {
+                Ok(opts) => cmd_run(app, &opts),
+                Err(e) => Err(e),
+            }
+        }
+        "sweep" => parse_options(&args[1..]).map(|o| cmd_sweep(&o)),
+        "cutoff" => parse_options(&args[1..]).map(|o| cmd_cutoff(&o)),
+        _ => {
+            usage();
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
