@@ -15,7 +15,10 @@ use tb_sim::Cycles;
 use tb_workloads::AppSpec;
 
 fn main() {
-    banner("A5 (anticipation)", "internal-timer anticipation margin sweep");
+    banner(
+        "A5 (anticipation)",
+        "internal-timer anticipation margin sweep",
+    );
     let nodes = bench_nodes();
     println!(
         "{:<11} {:>12} {:>9} {:>10} {:>9} {:>9} {:>7}",

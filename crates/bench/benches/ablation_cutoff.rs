@@ -10,7 +10,10 @@ use tb_machine::run::{run_trace, run_trace_with};
 use tb_workloads::AppSpec;
 
 fn main() {
-    banner("E8 (Ocean cut-off)", "overprediction threshold sweep on Ocean");
+    banner(
+        "E8 (Ocean cut-off)",
+        "overprediction threshold sweep on Ocean",
+    );
     let nodes = bench_nodes();
     let app = AppSpec::by_name("Ocean").expect("Ocean is in Table 2");
     let trace = app.generate(nodes as usize, bench_seed());

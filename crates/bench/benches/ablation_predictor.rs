@@ -37,8 +37,7 @@ fn main() {
         ];
         for (label, predictor) in variants {
             let cfg = AlgorithmConfig::thrifty().with_predictor(predictor);
-            let oracle_arg = matches!(predictor, PredictorChoice::Oracle)
-                .then(|| oracle.clone());
+            let oracle_arg = matches!(predictor, PredictorChoice::Oracle).then(|| oracle.clone());
             let r = run_trace_with(&trace, nodes, label, cfg, oracle_arg);
             println!(
                 "{:<11} {:<16} {:>9.1}% {:>8.1}% {:>+9.2}% {:>9}",

@@ -42,7 +42,10 @@ fn main() {
     );
 
     let base_dist = run_trace(&disturbed, nodes, SystemConfig::Baseline);
-    for (label, factor) in [("disturbed, filter on", Some(8.0)), ("disturbed, filter OFF", None)] {
+    for (label, factor) in [
+        ("disturbed, filter on", Some(8.0)),
+        ("disturbed, filter OFF", None),
+    ] {
         let cfg = AlgorithmConfig {
             underprediction_factor: factor,
             ..AlgorithmConfig::thrifty()

@@ -12,7 +12,10 @@ use tb_machine::run::{run_trace, PAPER_SEED};
 use tb_workloads::AppSpec;
 
 fn main() {
-    banner("A3 (scaling)", "machine sizes 16/32/64 and profitability margin");
+    banner(
+        "A3 (scaling)",
+        "machine sizes 16/32/64 and profitability margin",
+    );
     let _ = PAPER_SEED;
     println!(
         "{:<11} {:>6} {:>10} {:>9} {:>10}",

@@ -12,13 +12,16 @@
 
 use tb_bench::{banner, bench_nodes, bench_seed};
 use tb_core::{AlgorithmConfig, SystemConfig};
-use tb_machine::sim::{simulate, SimulatorConfig, TimeSharing};
 use tb_machine::run::run_trace;
+use tb_machine::sim::{simulate, SimulatorConfig, TimeSharing};
 use tb_sim::Cycles;
 use tb_workloads::AppSpec;
 
 fn main() {
-    banner("A6 (time-sharing)", "spin-then-yield vs the thrifty barrier (§3.4.1)");
+    banner(
+        "A6 (time-sharing)",
+        "spin-then-yield vs the thrifty barrier (§3.4.1)",
+    );
     let nodes = bench_nodes();
     println!(
         "{:<11} {:<24} {:>9} {:>10}",

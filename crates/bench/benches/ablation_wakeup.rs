@@ -13,7 +13,10 @@ use tb_machine::run::{run_trace, run_trace_with};
 use tb_workloads::AppSpec;
 
 fn main() {
-    banner("A1 (wake-up ablation)", "external-only vs internal-only vs hybrid");
+    banner(
+        "A1 (wake-up ablation)",
+        "external-only vs internal-only vs hybrid",
+    );
     let nodes = bench_nodes();
     println!(
         "{:<11} {:<15} {:>9} {:>10} {:>9} {:>9} {:>7}",

@@ -15,7 +15,10 @@ use tb_mem::BusConfig;
 use tb_workloads::AppSpec;
 
 fn main() {
-    banner("X2 (snooping bus)", "thrifty barrier on a 16-processor bus SMP");
+    banner(
+        "X2 (snooping bus)",
+        "thrifty barrier on a 16-processor bus SMP",
+    );
     let nodes = 16u16; // bus SMPs are small machines
     println!(
         "{:<11} {:<11} {:>9} {:>10} {:>9} {:>9}",

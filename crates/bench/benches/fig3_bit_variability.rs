@@ -34,8 +34,11 @@ fn main() {
             shown.push((iter, b + 1, inst));
         }
     }
-    let avg_bit =
-        shown.iter().map(|(_, _, i)| i.bit.as_u64() as f64).sum::<f64>() / shown.len() as f64;
+    let avg_bit = shown
+        .iter()
+        .map(|(_, _, i)| i.bit.as_u64() as f64)
+        .sum::<f64>()
+        / shown.len() as f64;
 
     println!(
         "observed thread: t{} — each bar = Compute + BST, normalized to mean BIT\n",
@@ -66,7 +69,10 @@ fn main() {
     // The figure's argument, quantified: per-site BIT varies far less than
     // the same thread's per-site BST.
     println!("\ncoefficient of variation across ALL instances of each barrier:");
-    println!("{:<9} {:>9} {:>12} {:>9}", "barrier", "CV(BIT)", "CV(BST)", "ratio");
+    println!(
+        "{:<9} {:>9} {:>12} {:>9}",
+        "barrier", "CV(BIT)", "CV(BST)", "ratio"
+    );
     for (b, &pc) in FMM_LOOP_PCS.iter().enumerate() {
         let mut bit = OnlineStats::new();
         let mut bst = OnlineStats::new();

@@ -20,7 +20,10 @@ fn main() {
             base.total_energy()
         );
         for r in reports {
-            println!("{}", breakdown_row(&r.config, &r.energy_normalized_to(base)));
+            println!(
+                "{}",
+                breakdown_row(&r.config, &r.energy_normalized_to(base))
+            );
         }
     }
     let summary = target_summary(&matrix);

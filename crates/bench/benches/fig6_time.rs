@@ -7,14 +7,14 @@
 use tb_bench::{banner, breakdown_row, full_matrix, target_summary};
 
 fn main() {
-    banner("Figure 6", "normalized execution time, 10 apps x {B,H,O,T,I}");
+    banner(
+        "Figure 6",
+        "normalized execution time, 10 apps x {B,H,O,T,I}",
+    );
     let matrix = full_matrix();
     for (app, reports) in &matrix {
         let base = &reports[0];
-        println!(
-            "\n-- {} (baseline wall clock {})",
-            app.name, base.wall_time
-        );
+        println!("\n-- {} (baseline wall clock {})", app.name, base.wall_time);
         for r in reports {
             println!(
                 "{}  (slowdown {:+.2}%)",

@@ -36,7 +36,7 @@ fn bench_memory_system(c: &mut Criterion) {
             t += Cycles::from_nanos(100);
             let node = NodeId::new((i % 16) as u16);
             let addr = mem.layout().shared_addr(10 + (i % 32), (i % 64) * 64);
-            if i % 3 == 0 {
+            if i.is_multiple_of(3) {
                 black_box(mem.write(node, addr, t).completion)
             } else {
                 black_box(mem.read(node, addr, t).completion)
@@ -74,5 +74,10 @@ fn bench_machine_run(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_event_queue, bench_memory_system, bench_machine_run);
+criterion_group!(
+    benches,
+    bench_event_queue,
+    bench_memory_system,
+    bench_machine_run
+);
 criterion_main!(benches);

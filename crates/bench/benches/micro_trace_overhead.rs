@@ -1,0 +1,89 @@
+//! R2 — Trace-instrumentation overhead on the real-threads thrifty
+//! barrier. Three variants of the same balanced fork-join loop:
+//!
+//! * `untraced` — barrier built without a sink (the `SinkHandle` is the
+//!   disabled variant; every emit is a single branch on a `None`);
+//! * `traced` — per-thread lock-free SPSC rings capturing every event;
+//! * and, for reference, the raw per-event cost of a ring push.
+//!
+//! The disabled-sink variant is the one that matters for the "tracing is
+//! free when off" claim: compare `trace_overhead/untraced` against
+//! `micro_runtime_barrier`'s `thrifty_barrier_4t_64ep` (same workload) —
+//! they should be within noise of each other (<2 %).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use tb_core::{AlgorithmConfig, BarrierPc};
+use tb_runtime::{RuntimeSleepLevels, ThriftyRuntimeBarrier};
+use tb_sim::Cycles;
+use tb_trace::{SpscRing, TraceEvent, TraceEventKind};
+
+const THREADS: usize = 4;
+const EPISODES: usize = 64;
+
+fn run_episodes(barrier: Arc<ThriftyRuntimeBarrier>) {
+    let pc = BarrierPc::new(0x1);
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let b = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                for _ in 0..EPISODES {
+                    b.wait(t, pc);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+fn runtime_cfg() -> AlgorithmConfig {
+    AlgorithmConfig {
+        sleep_table: RuntimeSleepLevels::table(),
+        ..AlgorithmConfig::thrifty()
+    }
+}
+
+fn bench_untraced(c: &mut Criterion) {
+    c.bench_function("trace_overhead/untraced_4t_64ep", |b| {
+        b.iter(|| {
+            run_episodes(Arc::new(ThriftyRuntimeBarrier::with_config(
+                THREADS,
+                runtime_cfg(),
+            )))
+        });
+    });
+}
+
+fn bench_traced(c: &mut Criterion) {
+    c.bench_function("trace_overhead/traced_4t_64ep", |b| {
+        b.iter(|| {
+            let barrier = Arc::new(ThriftyRuntimeBarrier::with_trace(
+                THREADS,
+                runtime_cfg(),
+                8192,
+            ));
+            run_episodes(Arc::clone(&barrier));
+            barrier.drain_trace().unwrap().len()
+        });
+    });
+}
+
+fn bench_ring_push(c: &mut Criterion) {
+    c.bench_function("trace_overhead/spsc_push_pop", |b| {
+        let ring = SpscRing::new(1024);
+        let ev = TraceEvent::new(
+            Cycles::new(7),
+            0,
+            TraceEventKind::SpinStart { episode: 1, pc: 2 },
+        );
+        b.iter(|| {
+            ring.push(ev);
+            ring.pop()
+        });
+    });
+}
+
+criterion_group!(benches, bench_untraced, bench_traced, bench_ring_push);
+criterion_main!(benches);

@@ -4,7 +4,10 @@ use tb_bench::banner;
 use tb_energy::{PowerModel, SleepTable};
 
 fn main() {
-    banner("Table 3", "low-power sleep states (savings relative to TDPmax)");
+    banner(
+        "Table 3",
+        "low-power sleep states (savings relative to TDPmax)",
+    );
     let table = SleepTable::paper();
     let power = PowerModel::paper();
     println!(

@@ -31,6 +31,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 use tb_sim::Cycles;
+use tb_trace::{SinkHandle, TraceEvent, TraceEventKind};
 
 /// Index of a thread participating in the barrier (0-based, dense).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -154,6 +155,10 @@ pub struct BarrierAlgorithm {
     timings: Vec<ThreadTiming>,
     arrivals: Vec<Cycles>,
     sites: HashMap<BarrierPc, SiteState>,
+    /// Semantic-event trace sink (disabled by default). The algorithm emits
+    /// `prediction`, `release`, and `cutoff_disable` events — the kinds
+    /// only it can observe — stamped with per-site instance numbering.
+    trace: SinkHandle,
 }
 
 impl BarrierAlgorithm {
@@ -190,7 +195,16 @@ impl BarrierAlgorithm {
             arrivals: vec![Cycles::ZERO; threads],
             sites: HashMap::new(),
             cfg,
+            trace: SinkHandle::disabled(),
         }
+    }
+
+    /// Attaches (or detaches, with a disabled handle) the trace sink the
+    /// algorithm emits its semantic events to. Events are attributed to the
+    /// calling thread, so with per-thread sink storage the single-producer
+    /// invariant holds as long as each `ThreadId` maps to one OS thread.
+    pub fn set_trace(&mut self, trace: SinkHandle) {
+        self.trace = trace;
     }
 
     /// The number of participating threads.
@@ -277,6 +291,18 @@ impl BarrierAlgorithm {
                 internal_at: None,
             },
         };
+        if let (Some(bit), Some(est)) = (predicted, estimate) {
+            self.trace.emit(TraceEvent::new(
+                now,
+                thread.index(),
+                TraceEventKind::Prediction {
+                    episode: instance,
+                    pc: pc.as_u64(),
+                    predicted_bit: bit,
+                    predicted_stall: est.predicted_stall,
+                },
+            ));
+        }
         ArrivalDecision {
             instance,
             compute_time,
@@ -300,10 +326,22 @@ impl BarrierAlgorithm {
         site.next_instance += 1;
         site.published_bit = measured_bit;
         let update = if self.cfg.thrifty {
-            self.predictor.as_dyn_mut().update(pc, instance, measured_bit)
+            self.predictor
+                .as_dyn_mut()
+                .update(pc, instance, measured_bit)
         } else {
             UpdateOutcome::Applied
         };
+        self.trace.emit(TraceEvent::new(
+            now,
+            thread.index(),
+            TraceEventKind::Release {
+                episode: instance,
+                pc: pc.as_u64(),
+                measured_bit,
+                update_skipped: update == UpdateOutcome::SkippedInordinate,
+            },
+        ));
         ReleaseInfo {
             instance,
             measured_bit,
@@ -337,9 +375,25 @@ impl BarrierAlgorithm {
             if self.policy.penalty_trips_cutoff(penalty, published) {
                 self.predictor.as_dyn_mut().disable(pc, thread);
                 disabled = true;
+                let instance = self
+                    .sites
+                    .get(&pc)
+                    .map(|s| s.next_instance.saturating_sub(1))
+                    .unwrap_or(0);
+                self.trace.emit(TraceEvent::new(
+                    wakeup_timestamp,
+                    thread.index(),
+                    TraceEventKind::CutoffDisable {
+                        episode: instance,
+                        pc: pc.as_u64(),
+                        penalty,
+                    },
+                ));
             }
             let actual_stall = new_brts.saturating_sub(self.arrivals[thread.index()]);
-            self.predictor.as_dyn_mut().update_bst(pc, thread, actual_stall);
+            self.predictor
+                .as_dyn_mut()
+                .update_bst(pc, thread, actual_stall);
         }
         FinishInfo {
             new_brts,
@@ -424,7 +478,11 @@ mod tests {
 
         algo.on_early_arrival(t(0), PC, us(150));
         let rel2 = algo.on_last_arrival(t(1), PC, us(260));
-        assert_eq!(rel2.measured_bit, us(160), "BIT measured from previous release");
+        assert_eq!(
+            rel2.measured_bit,
+            us(160),
+            "BIT measured from previous release"
+        );
         assert_eq!(rel2.instance, 1);
     }
 
@@ -441,8 +499,8 @@ mod tests {
     fn short_predicted_stall_spins() {
         let mut algo = BarrierAlgorithm::new(AlgorithmConfig::thrifty(), 2);
         episode(&mut algo, us(10), us(30)); // BIT = 30µs
-        // Next instance: predicted stall ~ (30µs - compute) < Halt's 40µs
-        // profitability bound -> spin.
+                                            // Next instance: predicted stall ~ (30µs - compute) < Halt's 40µs
+                                            // profitability bound -> spin.
         let d = algo.on_early_arrival(t(0), PC, us(40));
         assert_eq!(d.predicted_stall, Some(us(20)));
         assert!(d.choice.is_spin());
@@ -477,8 +535,8 @@ mod tests {
         episode(&mut algo, us(100), us(1000)); // BRTS = 1000, BIT = 1000
         algo.on_early_arrival(t(0), PC, us(1100));
         let rel = algo.on_last_arrival(t(1), PC, us(1500)); // BIT = 500µs
-        // Thread 0 overslept: woke 200µs after the 1500µs release; the
-        // penalty (200µs) exceeds 10% of BIT (50µs).
+                                                            // Thread 0 overslept: woke 200µs after the 1500µs release; the
+                                                            // penalty (200µs) exceeds 10% of BIT (50µs).
         let f = algo.finish_barrier(t(0), PC, us(1700));
         assert_eq!(f.penalty, us(200));
         assert!(f.disabled);
@@ -497,7 +555,7 @@ mod tests {
         episode(&mut algo, us(100), us(1000));
         algo.on_early_arrival(t(0), PC, us(1100));
         algo.on_last_arrival(t(1), PC, us(2000)); // BIT = 1000µs
-        // Woke 50µs late; 10% of BIT is 100µs -> fine.
+                                                  // Woke 50µs late; 10% of BIT is 100µs -> fine.
         let f = algo.finish_barrier(t(0), PC, us(2050));
         assert_eq!(f.penalty, us(50));
         assert!(!f.disabled);
@@ -563,7 +621,51 @@ mod tests {
         let r2 = algo.on_last_arrival(t(1), pc2, us(300));
         assert_eq!(r1.instance, 0);
         assert_eq!(r2.instance, 0, "first instance at the second site");
-        assert_eq!(r2.measured_bit, us(200), "interval spans sites (global BRTS)");
+        assert_eq!(
+            r2.measured_bit,
+            us(200),
+            "interval spans sites (global BRTS)"
+        );
+    }
+
+    #[test]
+    fn semantic_events_reach_the_trace_sink() {
+        use std::sync::Arc;
+        use tb_trace::{MemorySink, TraceKindCounts};
+
+        let mut algo = BarrierAlgorithm::new(AlgorithmConfig::thrifty(), 2);
+        let sink = Arc::new(MemorySink::new(2, 256));
+        algo.set_trace(SinkHandle::new(sink.clone()));
+
+        // Warm-up episode (no prediction), then a predicted episode, then a
+        // badly overpredicted one that trips the §3.3.3 cut-off.
+        episode(&mut algo, us(100), us(1000));
+        episode(&mut algo, us(1100), us(2000));
+        algo.on_early_arrival(t(0), PC, us(2100));
+        let rel = algo.on_last_arrival(t(1), PC, us(2500)); // BIT = 500µs
+        let f = algo.finish_barrier(t(0), PC, us(2700)); // 200µs late
+        assert!(f.disabled);
+        algo.finish_barrier(t(1), PC, rel.release_estimate);
+
+        let events = sink.drain_sorted();
+        let c = TraceKindCounts::from_events(&events);
+        assert_eq!(c.releases, 3);
+        assert_eq!(c.predictions, 2, "episodes 1 and 2 had history");
+        assert_eq!(c.cutoff_disables, 1);
+        // Physical kinds are the executor's job; the algorithm emits none.
+        assert_eq!(c.arrivals + c.last_arrivals + c.sleep_starts + c.departs, 0);
+        // The cut-off event carries the measured penalty and the episode it
+        // tripped on.
+        let cutoff = events
+            .iter()
+            .find_map(|e| match e.kind {
+                TraceEventKind::CutoffDisable {
+                    episode, penalty, ..
+                } => Some((episode, penalty)),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(cutoff, (2, us(200)));
     }
 
     #[test]

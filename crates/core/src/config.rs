@@ -229,9 +229,24 @@ mod tests {
 
     #[test]
     fn halt_configs_have_one_state() {
-        assert_eq!(SystemConfig::ThriftyHalt.algorithm_config().sleep_table.len(), 1);
-        assert_eq!(SystemConfig::OracleHalt.algorithm_config().sleep_table.len(), 1);
-        assert_eq!(SystemConfig::Thrifty.algorithm_config().sleep_table.len(), 3);
+        assert_eq!(
+            SystemConfig::ThriftyHalt
+                .algorithm_config()
+                .sleep_table
+                .len(),
+            1
+        );
+        assert_eq!(
+            SystemConfig::OracleHalt
+                .algorithm_config()
+                .sleep_table
+                .len(),
+            1
+        );
+        assert_eq!(
+            SystemConfig::Thrifty.algorithm_config().sleep_table.len(),
+            3
+        );
     }
 
     #[test]
@@ -267,6 +282,8 @@ mod tests {
         assert_eq!(SystemConfig::Thrifty.to_string(), "Thrifty");
         assert_eq!(SystemConfig::OracleHalt.name(), "Oracle-Halt");
         assert_eq!(PredictorChoice::LastValue.to_string(), "last-value");
-        assert!(PredictorChoice::Averaging(0.25).to_string().contains("0.25"));
+        assert!(PredictorChoice::Averaging(0.25)
+            .to_string()
+            .contains("0.25"));
     }
 }

@@ -52,7 +52,11 @@ impl fmt::Display for SleepChoice {
         match self {
             SleepChoice::Spin => write!(f, "spin"),
             SleepChoice::Sleep { state, needs_flush } => {
-                write!(f, "sleep({state}{})", if *needs_flush { ", flush" } else { "" })
+                write!(
+                    f,
+                    "sleep({state}{})",
+                    if *needs_flush { ", flush" } else { "" }
+                )
             }
         }
     }
@@ -92,7 +96,10 @@ impl SleepPolicy {
             "min stall multiple must be >= 1.0, got {min_stall_multiple}"
         );
         if let Some(th) = overprediction_threshold {
-            assert!(th > 0.0, "overprediction threshold must be positive, got {th}");
+            assert!(
+                th > 0.0,
+                "overprediction threshold must be positive, got {th}"
+            );
         }
         SleepPolicy {
             table,
@@ -209,7 +216,10 @@ mod tests {
     fn cutoff_uses_fraction_of_bit() {
         let p = SleepPolicy::paper(); // 10%
         let bit = Cycles::from_micros(1000);
-        assert!(!p.penalty_trips_cutoff(Cycles::from_micros(100), bit), "at threshold: no trip");
+        assert!(
+            !p.penalty_trips_cutoff(Cycles::from_micros(100), bit),
+            "at threshold: no trip"
+        );
         assert!(p.penalty_trips_cutoff(Cycles::from_micros(101), bit));
         assert!(!p.penalty_trips_cutoff(Cycles::ZERO, bit));
     }

@@ -198,7 +198,10 @@ impl AveragingPredictor {
     ///
     /// Panics unless `0 < alpha <= 1`.
     pub fn new(threads: usize, alpha: f64) -> Self {
-        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1], got {alpha}");
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "alpha must be in (0,1], got {alpha}"
+        );
         AveragingPredictor {
             inner: LastValuePredictor::new(threads, Some(8.0)),
             averages: HashMap::new(),
@@ -212,7 +215,9 @@ impl BitPredictor for AveragingPredictor {
         // Reuse the disable bits and history-existence logic of the inner
         // predictor, then substitute the average.
         self.inner.predict(pc, instance, thread)?;
-        self.averages.get(&pc).map(|&a| Cycles::new(a.round() as u64))
+        self.averages
+            .get(&pc)
+            .map(|&a| Cycles::new(a.round() as u64))
     }
 
     fn update(&mut self, pc: BarrierPc, instance: u64, measured: Cycles) -> UpdateOutcome {
@@ -312,7 +317,10 @@ impl ConfidencePredictor {
     ///
     /// Panics if `tolerance` is not positive.
     pub fn new(threads: usize, tolerance: f64) -> Self {
-        assert!(tolerance > 0.0, "tolerance must be positive, got {tolerance}");
+        assert!(
+            tolerance > 0.0,
+            "tolerance must be positive, got {tolerance}"
+        );
         ConfidencePredictor {
             inner: LastValuePredictor::new(threads, Some(8.0)),
             confidence: HashMap::new(),
@@ -343,8 +351,8 @@ impl BitPredictor for ConfidencePredictor {
         let slot = self.confidence.entry(pc).or_insert(0);
         match prev {
             Some(prev) => {
-                let rel = (measured.as_u64() as f64 - prev.as_u64() as f64).abs()
-                    / prev.as_u64() as f64;
+                let rel =
+                    (measured.as_u64() as f64 - prev.as_u64() as f64).abs() / prev.as_u64() as f64;
                 if rel <= self.tolerance {
                     *slot = (*slot + 1).min(3);
                 } else {
@@ -440,7 +448,10 @@ mod tests {
     #[test]
     fn last_value_roundtrip() {
         let mut p = LastValuePredictor::with_defaults(4);
-        assert_eq!(p.update(PC, 0, Cycles::from_micros(100)), UpdateOutcome::Applied);
+        assert_eq!(
+            p.update(PC, 0, Cycles::from_micros(100)),
+            UpdateOutcome::Applied
+        );
         assert_eq!(p.predict(PC, 1, t(2)), Some(Cycles::from_micros(100)));
         p.update(PC, 1, Cycles::from_micros(150));
         assert_eq!(p.predict(PC, 2, t(2)), Some(Cycles::from_micros(150)));
@@ -492,13 +503,19 @@ mod tests {
     fn filter_disabled_accepts_everything() {
         let mut p = LastValuePredictor::new(2, None);
         p.update(PC, 0, Cycles::from_micros(10));
-        assert_eq!(p.update(PC, 1, Cycles::from_secs(10)), UpdateOutcome::Applied);
+        assert_eq!(
+            p.update(PC, 1, Cycles::from_secs(10)),
+            UpdateOutcome::Applied
+        );
     }
 
     #[test]
     fn first_measurement_never_filtered() {
         let mut p = LastValuePredictor::new(2, Some(2.0));
-        assert_eq!(p.update(PC, 0, Cycles::from_secs(100)), UpdateOutcome::Applied);
+        assert_eq!(
+            p.update(PC, 0, Cycles::from_secs(100)),
+            UpdateOutcome::Applied
+        );
     }
 
     #[test]

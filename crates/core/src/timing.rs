@@ -123,14 +123,17 @@ mod tests {
     fn fresh_state_starts_at_zero() {
         let t = ThreadTiming::new();
         assert_eq!(t.brts(), Cycles::ZERO);
-        assert_eq!(t.compute_time(Cycles::from_micros(5)), Cycles::from_micros(5));
+        assert_eq!(
+            t.compute_time(Cycles::from_micros(5)),
+            Cycles::from_micros(5)
+        );
     }
 
     #[test]
     fn estimate_decomposes_interval() {
         let mut t = ThreadTiming::new();
         t.advance(Cycles::from_micros(100)); // previous barrier released at 100µs
-        // Thread computes 40µs then arrives; BIT predicted 100µs.
+                                             // Thread computes 40µs then arrives; BIT predicted 100µs.
         let e = t.estimate(Cycles::from_micros(140), Cycles::from_micros(100));
         assert_eq!(e.compute_time, Cycles::from_micros(40));
         assert_eq!(e.estimated_release, Cycles::from_micros(200));
@@ -160,7 +163,11 @@ mod tests {
             a.advance(bit);
             b.advance(bit);
             assert_eq!(a.brts(), true_release, "BRTS matches true release");
-            assert_eq!(a.brts(), b.brts(), "all threads agree without a global clock");
+            assert_eq!(
+                a.brts(),
+                b.brts(),
+                "all threads agree without a global clock"
+            );
         }
     }
 
@@ -177,7 +184,7 @@ mod tests {
     fn overprediction_penalty_definition() {
         let mut t = ThreadTiming::new();
         t.advance(Cycles::from_micros(200)); // barrier released at 200µs
-        // Woke at 230µs: 30µs late.
+                                             // Woke at 230µs: 30µs late.
         assert_eq!(
             t.overprediction_penalty(Cycles::from_micros(230)),
             Cycles::from_micros(30)

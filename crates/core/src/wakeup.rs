@@ -155,7 +155,11 @@ mod tests {
         assert_eq!(p.internal_at, Some(release - exit));
         let guard = Cycles::from_micros(3);
         let p = WakeupPlan::new(WakeupMode::Hybrid, NOW, release, exit, guard);
-        assert_eq!(p.internal_at, Some(release - exit - guard), "anticipation subtracts");
+        assert_eq!(
+            p.internal_at,
+            Some(release - exit - guard),
+            "anticipation subtracts"
+        );
     }
 
     #[test]
@@ -176,9 +180,21 @@ mod tests {
     fn displays() {
         assert_eq!(WakeupMode::Hybrid.to_string(), "hybrid");
         assert_eq!(WakeupMode::ExternalOnly.to_string(), "external-only");
-        let p = WakeupPlan::new(WakeupMode::ExternalOnly, NOW, NOW, Cycles::new(1), Cycles::ZERO);
+        let p = WakeupPlan::new(
+            WakeupMode::ExternalOnly,
+            NOW,
+            NOW,
+            Cycles::new(1),
+            Cycles::ZERO,
+        );
         assert_eq!(p.to_string(), "external");
-        let p = WakeupPlan::new(WakeupMode::InternalOnly, NOW, NOW, Cycles::new(1), Cycles::ZERO);
+        let p = WakeupPlan::new(
+            WakeupMode::InternalOnly,
+            NOW,
+            NOW,
+            Cycles::new(1),
+            Cycles::ZERO,
+        );
         assert!(p.to_string().starts_with("internal"));
     }
 }

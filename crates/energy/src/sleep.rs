@@ -307,10 +307,7 @@ mod tests {
             t.best_fit(Cycles::from_micros(100), 2.0).map(|i| i.index()),
             Some(1)
         );
-        assert_eq!(
-            t.best_fit(Cycles::from_micros(200), 2.0),
-            Some(t.deepest())
-        );
+        assert_eq!(t.best_fit(Cycles::from_micros(200), 2.0), Some(t.deepest()));
     }
 
     #[test]
@@ -379,9 +376,6 @@ mod tests {
     #[test]
     fn round_trip_is_double_latency() {
         let t = SleepTable::paper();
-        assert_eq!(
-            t.state(t.deepest()).round_trip(),
-            Cycles::from_micros(70)
-        );
+        assert_eq!(t.state(t.deepest()).round_trip(), Cycles::from_micros(70));
     }
 }

@@ -316,10 +316,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "must sum to 1.0")]
     fn bad_shares_rejected() {
-        let _ = WattchModel::from_components(
-            vec![Component::new("x", 0.5, 1.0, 1.0)],
-            10.0,
-        );
+        let _ = WattchModel::from_components(vec![Component::new("x", 0.5, 1.0, 1.0)], 10.0);
     }
 
     #[test]

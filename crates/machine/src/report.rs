@@ -4,9 +4,10 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 use tb_energy::{CategoryBreakdown, EnergyCategory, MachineLedger};
 use tb_sim::{Cycles, OnlineStats};
+use tb_trace::TraceSummary;
 
 /// Counts of barrier-related events during a run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct BarrierEventCounts {
     /// Barrier episodes executed (dynamic instances).
     pub episodes: u64,
@@ -43,6 +44,32 @@ impl BarrierEventCounts {
     /// Total sleep episodes across all states.
     pub fn total_sleeps(&self) -> u64 {
         self.sleeps_by_state.iter().sum()
+    }
+
+    /// Adds another run's (or partial tally's) counts into this one.
+    ///
+    /// Merging is field-wise addition, so merging N partial counts equals
+    /// counting once over the concatenated event stream. Sleep-state
+    /// vectors of different lengths merge into the longer one.
+    pub fn merge(&mut self, other: &BarrierEventCounts) {
+        self.episodes += other.episodes;
+        self.early_arrivals += other.early_arrivals;
+        self.spins += other.spins;
+        if self.sleeps_by_state.len() < other.sleeps_by_state.len() {
+            self.sleeps_by_state.resize(other.sleeps_by_state.len(), 0);
+        }
+        for (mine, theirs) in self.sleeps_by_state.iter_mut().zip(&other.sleeps_by_state) {
+            *mine += theirs;
+        }
+        self.flushes += other.flushes;
+        self.flushed_lines += other.flushed_lines;
+        self.internal_wakeups += other.internal_wakeups;
+        self.external_wakeups += other.external_wakeups;
+        self.early_wakeups += other.early_wakeups;
+        self.late_wakeups += other.late_wakeups;
+        self.false_wakeups += other.false_wakeups;
+        self.cutoff_disables += other.cutoff_disables;
+        self.updates_skipped += other.updates_skipped;
     }
 }
 
@@ -88,6 +115,8 @@ pub struct RunReport {
     pub instances: Vec<InstanceRecord>,
     /// The thread whose compute/BST decomposition `instances` records.
     pub observed_thread: usize,
+    /// Digest of the captured event trace (`None` when tracing was off).
+    pub trace: Option<TraceSummary>,
 }
 
 impl RunReport {
@@ -111,9 +140,8 @@ impl RunReport {
     /// this is exactly Table 2's metric (all barrier time is spin time).
     pub fn barrier_imbalance(&self) -> f64 {
         let t = self.time();
-        let barrier = t[EnergyCategory::Spin]
-            + t[EnergyCategory::Transition]
-            + t[EnergyCategory::Sleep];
+        let barrier =
+            t[EnergyCategory::Spin] + t[EnergyCategory::Transition] + t[EnergyCategory::Sleep];
         let total = t.total();
         if total == 0.0 {
             0.0
@@ -227,6 +255,7 @@ mod tests {
             prediction_error: OnlineStats::new(),
             instances: Vec::new(),
             observed_thread: 0,
+            trace: None,
         }
     }
 
@@ -283,9 +312,40 @@ mod tests {
 
     #[test]
     fn counts_total_sleeps() {
-        let mut c = BarrierEventCounts::default();
-        c.sleeps_by_state = vec![3, 0, 4];
+        let c = BarrierEventCounts {
+            sleeps_by_state: vec![3, 0, 4],
+            ..BarrierEventCounts::default()
+        };
         assert_eq!(c.total_sleeps(), 7);
+    }
+
+    #[test]
+    fn counts_merge_is_fieldwise_addition() {
+        let mut a = BarrierEventCounts {
+            episodes: 2,
+            early_arrivals: 5,
+            spins: 1,
+            sleeps_by_state: vec![1, 2],
+            flushes: 1,
+            flushed_lines: 10,
+            internal_wakeups: 2,
+            external_wakeups: 1,
+            early_wakeups: 1,
+            late_wakeups: 0,
+            false_wakeups: 0,
+            cutoff_disables: 1,
+            updates_skipped: 1,
+        };
+        let b = BarrierEventCounts {
+            episodes: 3,
+            sleeps_by_state: vec![0, 1, 4],
+            ..BarrierEventCounts::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.episodes, 5);
+        assert_eq!(a.sleeps_by_state, vec![1, 3, 4], "merges into the longer");
+        assert_eq!(a.total_sleeps(), 8);
+        assert_eq!(a.early_arrivals, 5);
     }
 
     #[test]

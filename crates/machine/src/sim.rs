@@ -22,6 +22,7 @@ use tb_core::{AlgorithmConfig, BarrierAlgorithm, BarrierPc, SleepChoice, ThreadI
 use tb_energy::{EnergyCategory, MachineLedger, PowerModel, SleepStateId};
 use tb_mem::{Addr, BusConfig, CoherentMemory, LineAddr, MachineConfig, NodeId};
 use tb_sim::{Cycles, EventId, EventQueue, OnlineStats};
+use tb_trace::{SinkHandle, TraceEvent, TraceEventKind};
 use tb_workloads::AppTrace;
 
 /// How long one spin-loop iteration takes to notice an invalidated flag
@@ -66,6 +67,12 @@ pub struct SimulatorConfig {
     /// bus SMP instead of the directory CC-NUMA (`machine` is then only
     /// used for its node count bound).
     pub bus: Option<BusConfig>,
+    /// Trace sink for per-episode event capture (disabled by default).
+    /// The simulator emits the physical events (arrivals, sleep/spin
+    /// entries, flushes, wake-ups, departures) with the global episode
+    /// index; the algorithm it drives emits the semantic events through
+    /// the same handle.
+    pub trace: SinkHandle,
 }
 
 /// Parameters of the §3.4.1 time-sharing alternative.
@@ -89,6 +96,7 @@ impl SimulatorConfig {
             false_wakeup: None,
             time_sharing: None,
             bus: None,
+            trace: SinkHandle::disabled(),
         }
     }
 
@@ -188,8 +196,16 @@ impl Simulator {
     /// Panics if the machine has fewer nodes than the trace has threads,
     /// if the algorithm was built for a different thread count, or if the
     /// observed thread is out of range.
-    pub fn new(cfg: SimulatorConfig, trace: AppTrace, algo: BarrierAlgorithm) -> Self {
+    pub fn new(cfg: SimulatorConfig, trace: AppTrace, mut algo: BarrierAlgorithm) -> Self {
         let threads = trace.threads;
+        // The algorithm shares the executor's sink: semantic and physical
+        // events interleave in one capture. With tracing on, the energy
+        // ledger also logs per-transition records for cross-referencing.
+        algo.set_trace(cfg.trace.clone());
+        let mut ledger = MachineLedger::new(threads);
+        if cfg.trace.is_enabled() {
+            ledger.enable_transition_log();
+        }
         assert!(
             cfg.machine.nodes as usize >= threads,
             "machine has {} nodes but the trace needs {threads}",
@@ -223,10 +239,12 @@ impl Simulator {
         let p_compute = cfg.power.compute_watts();
         let p_spin = cfg.power.spin_watts();
         let n_states = algo.policy().table().len();
-        let mut counts = BarrierEventCounts::default();
-        counts.sleeps_by_state = vec![0; n_states];
+        let counts = BarrierEventCounts {
+            sleeps_by_state: vec![0; n_states],
+            ..BarrierEventCounts::default()
+        };
         Simulator {
-            ledger: MachineLedger::new(threads),
+            ledger,
             queue: EventQueue::new(),
             procs: (0..threads)
                 .map(|_| Proc {
@@ -250,12 +268,13 @@ impl Simulator {
             counts,
             prediction_error: OnlineStats::new(),
             instances: Vec::with_capacity(episodes),
-            false_wake_rng: cfg
-                .false_wakeup
-                .map(|(p, seed)| {
-                    assert!((0.0..=1.0).contains(&p), "false-wakeup rate must be in [0,1]");
-                    tb_sim::SimRng::new(seed).derive("false-wake", 0)
-                }),
+            false_wake_rng: cfg.false_wakeup.map(|(p, seed)| {
+                assert!(
+                    (0.0..=1.0).contains(&p),
+                    "false-wakeup rate must be in [0,1]"
+                );
+                tb_sim::SimRng::new(seed).derive("false-wake", 0)
+            }),
             p_compute,
             p_spin,
             cfg,
@@ -302,6 +321,7 @@ impl Simulator {
             prediction_error: self.prediction_error,
             instances: self.instances,
             observed_thread: self.cfg.observed_thread,
+            trace: None,
         }
     }
 
@@ -316,9 +336,7 @@ impl Simulator {
     }
 
     fn dirty_addr(&self, tid: usize, line_idx: u32) -> Addr {
-        let page = DIRTY_BASE_PAGE
-            + tid as u64 * DIRTY_PAGES_PER_THREAD
-            + (line_idx as u64) / 64;
+        let page = DIRTY_BASE_PAGE + tid as u64 * DIRTY_PAGES_PER_THREAD + (line_idx as u64) / 64;
         self.mem
             .layout()
             .shared_addr(page, ((line_idx as u64) % 64) * 64)
@@ -326,6 +344,12 @@ impl Simulator {
 
     fn pc_of(&self, step: usize) -> BarrierPc {
         BarrierPc::new(self.trace.steps[step].pc)
+    }
+
+    /// Emits one physical trace event (a no-op when tracing is off).
+    #[inline]
+    fn emit(&self, tid: usize, at: Cycles, kind: TraceEventKind) {
+        self.cfg.trace.emit(TraceEvent::new(at, tid, kind));
     }
 
     // ---- event handlers ---------------------------------------------------
@@ -367,13 +391,32 @@ impl Simulator {
         let node = self.node(tid);
         let step = self.procs[tid].step;
         let pc = self.pc_of(step);
+        self.emit(
+            tid,
+            now,
+            TraceEventKind::Arrival {
+                episode: step as u64,
+                pc: pc.as_u64(),
+                last: false,
+            },
+        );
         if let Some(ts) = self.cfg.time_sharing {
             // §3.4.1: spin briefly, then hand the CPU to another process.
             self.mem.read(node, self.flag_addr, now);
             self.procs[tid].state = ProcState::Spinning { since: now };
             self.counts.spins += 1;
-            self.queue
-                .schedule(now + ts.spin_before_yield, Event::YieldNow { tid, episode: step });
+            self.emit(
+                tid,
+                now,
+                TraceEventKind::SpinStart {
+                    episode: step as u64,
+                    pc: pc.as_u64(),
+                },
+            );
+            self.queue.schedule(
+                now + ts.spin_before_yield,
+                Event::YieldNow { tid, episode: step },
+            );
             // Keep the timing bookkeeping consistent for BIT measurement.
             let _ = self.algo.on_early_arrival(ThreadId::new(tid), pc, now);
             return;
@@ -387,11 +430,20 @@ impl Simulator {
                 self.mem.read(node, self.flag_addr, now);
                 self.procs[tid].state = ProcState::Spinning { since: now };
                 self.counts.spins += 1;
+                self.emit(
+                    tid,
+                    now,
+                    TraceEventKind::SpinStart {
+                        episode: step as u64,
+                        pc: pc.as_u64(),
+                    },
+                );
             }
             SleepChoice::Sleep { state, needs_flush } => {
                 let mut t = now;
                 if needs_flush {
                     self.counts.flushes += 1;
+                    let mut flushed = (0u64, Cycles::ZERO);
                     if self.algo.config().flush_overhead {
                         let f = self.mem.flush_dirty_shared(node, t);
                         self.counts.flushed_lines += f.lines as u64;
@@ -401,11 +453,22 @@ impl Simulator {
                             self.p_compute,
                         );
                         t += f.duration;
+                        flushed = (f.lines as u64, f.duration);
                     }
                     // Ideal configuration (§5.1): "no flushing overhead for
                     // any low-power sleep state" — neither the flush time
                     // nor the post-flush upgrade misses are charged, so the
                     // cache state is left untouched.
+                    self.emit(
+                        tid,
+                        now,
+                        TraceEventKind::Flush {
+                            episode: step as u64,
+                            pc: pc.as_u64(),
+                            lines: flushed.0,
+                            duration: flushed.1,
+                        },
+                    );
                 }
                 // The sleep() call programs the cache controller with the
                 // flag address: read the flag in (registering as sharer so
@@ -416,15 +479,29 @@ impl Simulator {
                 let st = self.algo.policy().state(state);
                 let entry_latency = st.transition_latency();
                 let p_sleep = st.power_watts(self.cfg.power.tdp_max());
-                self.ledger
-                    .cpu_mut(tid)
-                    .record_transition(entry_latency, self.p_compute, p_sleep);
+                self.ledger.cpu_mut(tid).record_transition_tagged(
+                    entry_latency,
+                    self.p_compute,
+                    p_sleep,
+                    step as u64,
+                );
+                self.emit(
+                    tid,
+                    t,
+                    TraceEventKind::SleepStart {
+                        episode: step as u64,
+                        pc: pc.as_u64(),
+                        state: state.index() as u32,
+                        needs_flush,
+                    },
+                );
                 let entry_end = t + entry_latency;
                 self.procs[tid].state = ProcState::EnteringSleep {
                     state,
                     wake_pending: false,
                 };
-                self.queue.schedule(entry_end, Event::TransitionDone { tid });
+                self.queue
+                    .schedule(entry_end, Event::TransitionDone { tid });
                 if let Some(at) = decision.wakeup.internal_at {
                     let id = self
                         .queue
@@ -440,6 +517,15 @@ impl Simulator {
         let node = self.node(tid);
         let step = self.procs[tid].step;
         let pc = self.pc_of(step);
+        self.emit(
+            tid,
+            now,
+            TraceEventKind::Arrival {
+                episode: step as u64,
+                pc: pc.as_u64(),
+                last: true,
+            },
+        );
         let release = self.algo.on_last_arrival(ThreadId::new(tid), pc, now);
         if release.update == tb_core::UpdateOutcome::SkippedInordinate {
             self.counts.updates_skipped += 1;
@@ -469,7 +555,10 @@ impl Simulator {
                 ProcState::Spinning { .. } => {
                     self.queue.schedule(
                         inv.at + SPIN_GRAIN,
-                        Event::Observe { tid: target, episode: step },
+                        Event::Observe {
+                            tid: target,
+                            episode: step,
+                        },
                     );
                 }
                 ProcState::ExitingSleep => {
@@ -481,6 +570,14 @@ impl Simulator {
                     if self.procs[target].watcher_armed {
                         self.begin_exit(target, state, since, inv.at);
                         self.counts.external_wakeups += 1;
+                        self.emit(
+                            target,
+                            inv.at,
+                            TraceEventKind::ExternalWake {
+                                episode: step as u64,
+                                pc: pc.as_u64(),
+                            },
+                        );
                     }
                 }
                 ProcState::EnteringSleep { state, .. } => {
@@ -490,6 +587,14 @@ impl Simulator {
                             wake_pending: true,
                         };
                         self.counts.external_wakeups += 1;
+                        self.emit(
+                            target,
+                            inv.at,
+                            TraceEventKind::ExternalWake {
+                                episode: step as u64,
+                                pc: pc.as_u64(),
+                            },
+                        );
                     }
                 }
                 ProcState::Yielded { since } => {
@@ -501,8 +606,13 @@ impl Simulator {
                     let waited = inv.at.saturating_sub(since).as_u64();
                     let quanta = waited / ts.quantum.as_u64() + 1;
                     let resume = since + ts.quantum * quanta;
-                    self.queue
-                        .schedule(resume, Event::Observe { tid: target, episode: step });
+                    self.queue.schedule(
+                        resume,
+                        Event::Observe {
+                            tid: target,
+                            episode: step,
+                        },
+                    );
                 }
                 ProcState::Computing | ProcState::Done => {
                     // A stale sharer; nothing to wake.
@@ -518,10 +628,15 @@ impl Simulator {
             return; // stale timer from a previous episode
         }
         self.procs[tid].timer = None;
+        let wake = TraceEventKind::InternalWake {
+            episode: episode as u64,
+            pc: self.trace.steps[episode].pc,
+        };
         match self.procs[tid].state {
             ProcState::Sleeping { state, since } => {
                 self.begin_exit(tid, state, since, now);
                 self.counts.internal_wakeups += 1;
+                self.emit(tid, now, wake);
             }
             ProcState::EnteringSleep { state, .. } => {
                 // The timer expired before the entry transition finished:
@@ -531,6 +646,7 @@ impl Simulator {
                     wake_pending: true,
                 };
                 self.counts.internal_wakeups += 1;
+                self.emit(tid, now, wake);
             }
             _ => {}
         }
@@ -548,9 +664,13 @@ impl Simulator {
         self.ledger
             .cpu_mut(tid)
             .record(EnergyCategory::Sleep, at.saturating_sub(since), p_sleep);
-        self.ledger
-            .cpu_mut(tid)
-            .record_transition(exit_latency, p_sleep, self.p_compute);
+        let episode = self.procs[tid].step as u64;
+        self.ledger.cpu_mut(tid).record_transition_tagged(
+            exit_latency,
+            p_sleep,
+            self.p_compute,
+            episode,
+        );
         self.procs[tid].state = ProcState::ExitingSleep;
         self.queue
             .schedule(at + exit_latency, Event::TransitionDone { tid });
@@ -601,6 +721,14 @@ impl Simulator {
                 } else {
                     // Early wake-up: residual spin until the release.
                     self.counts.early_wakeups += 1;
+                    self.emit(
+                        tid,
+                        now,
+                        TraceEventKind::ResidualSpin {
+                            episode: step as u64,
+                            pc: self.trace.steps[step].pc,
+                        },
+                    );
                     self.procs[tid].state = ProcState::Spinning { since: now };
                     if self.released[step] {
                         // The release is already in flight (it was issued
@@ -642,6 +770,14 @@ impl Simulator {
         if let ProcState::Sleeping { state, since } = self.procs[tid].state {
             if self.procs[tid].watcher_armed {
                 self.counts.false_wakeups += 1;
+                self.emit(
+                    tid,
+                    now,
+                    TraceEventKind::FalseWake {
+                        episode: episode as u64,
+                        pc: self.trace.steps[episode].pc,
+                    },
+                );
                 self.begin_exit(tid, state, since, now);
             }
         }
@@ -695,6 +831,15 @@ impl Simulator {
         if finish.disabled {
             self.counts.cutoff_disables += 1;
         }
+        self.emit(
+            tid,
+            depart_time,
+            TraceEventKind::Depart {
+                episode: step as u64,
+                pc: pc.as_u64(),
+                wake_latency: wake_ts.saturating_sub(self.episode_release[step]),
+            },
+        );
         if let Some(predicted) = self.procs[tid].predicted_bit.take() {
             let actual = self.episode_bits[step].as_u64() as f64;
             if actual > 0.0 {
@@ -715,7 +860,6 @@ impl Simulator {
         }
     }
 }
-
 
 /// Builds a [`BarrierAlgorithm`] and runs `trace` under it in one call.
 pub fn simulate(
@@ -763,6 +907,7 @@ mod tests {
             false_wakeup: None,
             time_sharing: None,
             bus: None,
+            trace: SinkHandle::disabled(),
         }
     }
 
@@ -905,11 +1050,7 @@ mod tests {
         let base = simulate(cfg("Baseline"), &trace, AlgorithmConfig::baseline(), None);
         let mut oracle = tb_core::RecordedBitOracle::new();
         for inst in &base.instances {
-            oracle.record(
-                BarrierPc::new(inst.pc),
-                inst.site_instance,
-                inst.bit,
-            );
+            oracle.record(BarrierPc::new(inst.pc), inst.site_instance, inst.bit);
         }
         let lv = simulate(cfg("Thrifty"), &trace, AlgorithmConfig::thrifty(), None);
         let ideal = simulate(cfg("Ideal"), &trace, AlgorithmConfig::ideal(), Some(oracle));
@@ -925,14 +1066,22 @@ mod tests {
     fn deep_sleep_triggers_flushes() {
         let trace = tiny_app(12, 5000, 0.35).generate(16, 10);
         let r = simulate(cfg("Thrifty"), &trace, AlgorithmConfig::thrifty(), None);
-        assert!(r.counts.flushes > 0, "long stalls pick non-snoopable states");
+        assert!(
+            r.counts.flushes > 0,
+            "long stalls pick non-snoopable states"
+        );
         assert!(r.counts.flushed_lines > 0);
     }
 
     #[test]
     fn halt_only_never_flushes() {
         let trace = tiny_app(12, 5000, 0.35).generate(16, 11);
-        let r = simulate(cfg("Thrifty-Halt"), &trace, AlgorithmConfig::thrifty_halt(), None);
+        let r = simulate(
+            cfg("Thrifty-Halt"),
+            &trace,
+            AlgorithmConfig::thrifty_halt(),
+            None,
+        );
         assert!(r.counts.total_sleeps() > 0);
         assert_eq!(r.counts.flushes, 0, "Halt snoops; no flush needed");
     }
@@ -1022,8 +1171,7 @@ mod tests {
         assert!(r.counts.false_wakeups > 0, "spurious wakes injected");
         let clean = simulate(cfg("Thrifty"), &trace, AlgorithmConfig::thrifty(), None);
         assert!(
-            r.ledger.energy()[EnergyCategory::Spin]
-                >= clean.ledger.energy()[EnergyCategory::Spin],
+            r.ledger.energy()[EnergyCategory::Spin] >= clean.ledger.energy()[EnergyCategory::Spin],
             "false wakes cost residual spin energy"
         );
         // Execution remains essentially as fast (spinning threads still

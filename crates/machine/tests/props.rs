@@ -5,17 +5,18 @@ use proptest::prelude::*;
 use tb_core::{AlgorithmConfig, SystemConfig};
 use tb_energy::EnergyCategory;
 use tb_machine::run::{run_trace, run_trace_with};
-use tb_machine::RunReport;
+use tb_machine::{BarrierEventCounts, RunReport};
+use tb_runtime::{RuntimeStats, ThreadStats};
 use tb_sim::Cycles;
 use tb_workloads::{AppSpec, PhaseSpec, Variability};
 
 fn arb_app() -> impl Strategy<Value = AppSpec> {
     (
-        1usize..3,      // loop phases
-        2u32..8,        // iterations
-        500u64..8_000,  // base interval µs
-        0.05f64..0.40,  // imbalance
-        0u32..64,       // dirty lines
+        1usize..3,     // loop phases
+        2u32..8,       // iterations
+        500u64..8_000, // base interval µs
+        0.05f64..0.40, // imbalance
+        0u32..64,      // dirty lines
     )
         .prop_map(|(phases, iterations, base_us, target, dirty)| AppSpec {
             name: "MachineProp".into(),
@@ -68,8 +69,121 @@ fn check_conservation(r: &RunReport) -> Result<(), TestCaseError> {
     Ok(())
 }
 
+fn arb_counts() -> impl Strategy<Value = BarrierEventCounts> {
+    (
+        proptest::collection::vec(0u64..1_000, 12),
+        proptest::collection::vec(0u64..1_000, 0..4),
+    )
+        .prop_map(|(f, sleeps_by_state)| BarrierEventCounts {
+            episodes: f[0],
+            early_arrivals: f[1],
+            spins: f[2],
+            sleeps_by_state,
+            flushes: f[3],
+            flushed_lines: f[4],
+            internal_wakeups: f[5],
+            external_wakeups: f[6],
+            early_wakeups: f[7],
+            late_wakeups: f[8],
+            false_wakeups: f[9],
+            cutoff_disables: f[10],
+            updates_skipped: f[11],
+        })
+}
+
+fn arb_thread_stats() -> impl Strategy<Value = ThreadStats> {
+    proptest::collection::vec(0u64..1_000_000, 7).prop_map(|v| ThreadStats {
+        spin: Cycles::new(v[0]),
+        yielded: Cycles::new(v[1]),
+        parked: Cycles::new(v[2]),
+        sleeps: v[3],
+        spins: v[4],
+        early_wakeups: v[5],
+        cutoff_disables: v[6],
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Merging N partial event-count records must equal counting once over
+    /// the concatenated run: every scalar is the sum of the partials'
+    /// scalars and the per-state sleep histogram is the element-wise sum.
+    #[test]
+    fn counts_merge_equals_counting_once(
+        partials in proptest::collection::vec(arb_counts(), 1..6)
+    ) {
+        let mut merged = BarrierEventCounts::default();
+        for p in &partials {
+            merged.merge(p);
+        }
+        let sum = |f: fn(&BarrierEventCounts) -> u64| partials.iter().map(f).sum::<u64>();
+        prop_assert_eq!(merged.episodes, sum(|c| c.episodes));
+        prop_assert_eq!(merged.early_arrivals, sum(|c| c.early_arrivals));
+        prop_assert_eq!(merged.spins, sum(|c| c.spins));
+        prop_assert_eq!(merged.flushes, sum(|c| c.flushes));
+        prop_assert_eq!(merged.flushed_lines, sum(|c| c.flushed_lines));
+        prop_assert_eq!(merged.internal_wakeups, sum(|c| c.internal_wakeups));
+        prop_assert_eq!(merged.external_wakeups, sum(|c| c.external_wakeups));
+        prop_assert_eq!(merged.early_wakeups, sum(|c| c.early_wakeups));
+        prop_assert_eq!(merged.late_wakeups, sum(|c| c.late_wakeups));
+        prop_assert_eq!(merged.false_wakeups, sum(|c| c.false_wakeups));
+        prop_assert_eq!(merged.cutoff_disables, sum(|c| c.cutoff_disables));
+        prop_assert_eq!(merged.updates_skipped, sum(|c| c.updates_skipped));
+        prop_assert_eq!(merged.total_sleeps(), sum(|c| c.total_sleeps()));
+        let widest = partials.iter().map(|c| c.sleeps_by_state.len()).max().unwrap_or(0);
+        prop_assert_eq!(merged.sleeps_by_state.len(), widest);
+        for (i, &n) in merged.sleeps_by_state.iter().enumerate() {
+            let expect: u64 = partials
+                .iter()
+                .map(|c| c.sleeps_by_state.get(i).copied().unwrap_or(0))
+                .sum();
+            prop_assert_eq!(n, expect, "state {} histogram bin", i);
+        }
+    }
+
+    /// Merge order never matters, and the empty record is the identity.
+    #[test]
+    fn counts_merge_commutes(a in arb_counts(), b in arb_counts()) {
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+        let mut with_identity = a.clone();
+        with_identity.merge(&BarrierEventCounts::default());
+        prop_assert_eq!(&with_identity, &a);
+    }
+
+    /// The runtime's per-thread stats obey the same law: folding N partials
+    /// through `merge` equals summing each field once, which is exactly
+    /// what `RuntimeStats::combined` relies on.
+    #[test]
+    fn thread_stats_merge_equals_counting_once(
+        partials in proptest::collection::vec(arb_thread_stats(), 1..8)
+    ) {
+        let combined = RuntimeStats {
+            threads: partials.clone(),
+            barriers_completed: 0,
+        }
+        .combined();
+        let sum = |f: fn(&ThreadStats) -> u64| partials.iter().map(f).sum::<u64>();
+        prop_assert_eq!(combined.spin.as_u64(), sum(|t| t.spin.as_u64()));
+        prop_assert_eq!(combined.yielded.as_u64(), sum(|t| t.yielded.as_u64()));
+        prop_assert_eq!(combined.parked.as_u64(), sum(|t| t.parked.as_u64()));
+        prop_assert_eq!(combined.sleeps, sum(|t| t.sleeps));
+        prop_assert_eq!(combined.spins, sum(|t| t.spins));
+        prop_assert_eq!(combined.early_wakeups, sum(|t| t.early_wakeups));
+        prop_assert_eq!(combined.cutoff_disables, sum(|t| t.cutoff_disables));
+        let stall_sum: u64 = partials.iter().map(|t| t.total_stall().as_u64()).sum();
+        prop_assert_eq!(combined.total_stall().as_u64(), stall_sum);
+        // Commutativity: reversed fold gives the same totals.
+        let mut reversed = ThreadStats::default();
+        for p in partials.iter().rev() {
+            reversed.merge(p);
+        }
+        prop_assert_eq!(&reversed, &combined);
+    }
 
     /// Conservation laws hold for every configuration on arbitrary
     /// workloads, and the configurations keep their defining properties.

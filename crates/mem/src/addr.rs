@@ -76,7 +76,9 @@ impl Addr {
     /// For private addresses, the owning node.
     pub fn private_owner(self) -> Option<NodeId> {
         if self.is_private() {
-            Some(NodeId(((self.0 >> PRIVATE_NODE_SHIFT) & PRIVATE_NODE_MASK) as u16))
+            Some(NodeId(
+                ((self.0 >> PRIVATE_NODE_SHIFT) & PRIVATE_NODE_MASK) as u16,
+            ))
         } else {
             None
         }
@@ -182,7 +184,10 @@ impl MemLayout {
         );
         assert!(offset < PAGE_BYTES, "offset {offset} exceeds page size");
         let local = page * PAGE_BYTES + offset;
-        assert!(local <= PRIVATE_OFFSET_MASK, "private page number too large");
+        assert!(
+            local <= PRIVATE_OFFSET_MASK,
+            "private page number too large"
+        );
         Addr(PRIVATE_BIT | ((node.as_u16() as u64) << PRIVATE_NODE_SHIFT) | local)
     }
 

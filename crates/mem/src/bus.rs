@@ -202,8 +202,7 @@ impl BusMemorySystem {
                 self.stats.cache_to_cache += 1;
                 let was_dirty = {
                     let onc = &mut self.nodes[owner.index()];
-                    let dirty =
-                        onc.l1.probe(line).is_dirty() || onc.l2.probe(line).is_dirty();
+                    let dirty = onc.l1.probe(line).is_dirty() || onc.l2.probe(line).is_dirty();
                     if onc.l1.probe(line).is_valid() {
                         onc.l1.set_state(line, LineState::Shared);
                     }
@@ -289,8 +288,7 @@ impl BusMemorySystem {
         let state = self.line_state(line);
         let had_copy = self.cached_state(node, line).is_valid();
         let needs_data = !had_copy;
-        let supplies_from_cache =
-            matches!(state, DirState::Exclusive(owner) if owner != node);
+        let supplies_from_cache = matches!(state, DirState::Exclusive(owner) if owner != node);
         let occupancy = if needs_data {
             if supplies_from_cache {
                 self.cfg.snoop + self.cfg.data_transfer
@@ -378,7 +376,11 @@ impl BusMemorySystem {
 
     fn fill_l1(&mut self, node: NodeId, line: LineAddr, state: LineState) {
         let nc = &mut self.nodes[node.index()];
-        if let Some(Evicted { line: vl, state: vs }) = nc.l1.insert(line, state) {
+        if let Some(Evicted {
+            line: vl,
+            state: vs,
+        }) = nc.l1.insert(line, state)
+        {
             if vs.is_dirty() && !nc.l2.set_state(vl, LineState::Modified) {
                 self.writeback_on_evict(node, vl);
             }
@@ -387,7 +389,11 @@ impl BusMemorySystem {
 
     fn fill_both(&mut self, node: NodeId, line: LineAddr, state: LineState) {
         let evicted = self.nodes[node.index()].l2.insert(line, state);
-        if let Some(Evicted { line: vl, state: vs }) = evicted {
+        if let Some(Evicted {
+            line: vl,
+            state: vs,
+        }) = evicted
+        {
             let l1_state = self.nodes[node.index()].l1.invalidate(vl);
             if vs.is_dirty() || l1_state.is_some_and(|s| s.is_dirty()) {
                 self.writeback_on_evict(node, vl);

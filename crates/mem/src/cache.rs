@@ -32,7 +32,7 @@ impl CacheConfig {
     pub fn new(size_bytes: u64, associativity: u32) -> Self {
         assert!(associativity > 0, "associativity must be positive");
         assert!(
-            size_bytes > 0 && size_bytes % (LINE_BYTES * associativity as u64) == 0,
+            size_bytes > 0 && size_bytes.is_multiple_of(LINE_BYTES * associativity as u64),
             "cache size must be a positive multiple of associativity * line size"
         );
         let sets = size_bytes / (LINE_BYTES * associativity as u64);

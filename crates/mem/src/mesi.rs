@@ -103,7 +103,9 @@ impl SharerSet {
     /// Iterates members in increasing node order.
     pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
         let bits = self.0;
-        (0..64u16).filter(move |i| bits & (1 << i) != 0).map(NodeId::new)
+        (0..64u16)
+            .filter(move |i| bits & (1 << i) != 0)
+            .map(NodeId::new)
     }
 
     /// The set without `node` (used to exclude the requester when fanning
@@ -138,9 +140,10 @@ impl fmt::Display for SharerSet {
 }
 
 /// Directory state of a line at its home node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub enum DirState {
     /// No cache holds the line; memory is the only copy.
+    #[default]
     Uncached,
     /// One or more caches hold clean copies.
     Shared(SharerSet),
@@ -161,12 +164,6 @@ impl DirState {
     /// `true` when some cache may hold a dirty copy.
     pub fn maybe_dirty(&self) -> bool {
         matches!(self, DirState::Exclusive(_))
-    }
-}
-
-impl Default for DirState {
-    fn default() -> Self {
-        DirState::Uncached
     }
 }
 
@@ -237,10 +234,7 @@ mod tests {
     #[test]
     fn dir_state_holders() {
         assert!(DirState::Uncached.holders().is_empty());
-        assert_eq!(
-            DirState::Exclusive(NodeId::new(7)).holders().len(),
-            1
-        );
+        assert_eq!(DirState::Exclusive(NodeId::new(7)).holders().len(), 1);
         let s: SharerSet = (0..3).map(NodeId::new).collect();
         assert_eq!(DirState::Shared(s).holders(), s);
         assert!(DirState::Exclusive(NodeId::new(0)).maybe_dirty());

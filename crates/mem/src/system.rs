@@ -377,7 +377,8 @@ impl MemorySystem {
             }
             let home = self.layout.home_of(line);
             farthest = farthest.max(self.net.line_latency(node, home));
-            self.dir.insert(line, DirState::Shared(SharerSet::singleton(node)));
+            self.dir
+                .insert(line, DirState::Shared(SharerSet::singleton(node)));
             self.stats.writebacks += 1;
         }
         self.stats.flushes += 1;
@@ -401,7 +402,11 @@ impl MemorySystem {
     /// victim.
     fn fill_l1(&mut self, node: NodeId, line: LineAddr, state: LineState) {
         let nc = &mut self.nodes[node.index()];
-        if let Some(Evicted { line: vl, state: vs }) = nc.l1.insert(line, state) {
+        if let Some(Evicted {
+            line: vl,
+            state: vs,
+        }) = nc.l1.insert(line, state)
+        {
             if vs.is_dirty() {
                 // Fold the dirty data back into the (inclusive) L2 copy.
                 if !nc.l2.set_state(vl, LineState::Modified) {
@@ -416,7 +421,11 @@ impl MemorySystem {
     /// Fills L2 then L1 with `line`, handling evictions at both levels.
     fn fill_both(&mut self, node: NodeId, line: LineAddr, state: LineState) {
         let evicted = self.nodes[node.index()].l2.insert(line, state);
-        if let Some(Evicted { line: vl, state: vs }) = evicted {
+        if let Some(Evicted {
+            line: vl,
+            state: vs,
+        }) = evicted
+        {
             // Inclusion: the L1 copy (if any) goes too; it may be dirtier
             // than the L2's record of it.
             let l1_state = self.nodes[node.index()].l1.invalidate(vl);
@@ -437,9 +446,7 @@ impl MemorySystem {
             DirState::Exclusive(owner) if owner == node => {
                 self.dir.insert(line, DirState::Uncached);
             }
-            other => panic!(
-                "write-back of {line} from {node} but directory says {other}"
-            ),
+            other => panic!("write-back of {line} from {node} but directory says {other}"),
         }
     }
 
@@ -488,7 +495,10 @@ impl MemorySystem {
                 }
             }
             DirState::Shared(s) => {
-                debug_assert!(!s.contains(node), "missed a line the directory says we share");
+                debug_assert!(
+                    !s.contains(node),
+                    "missed a line the directory says we share"
+                );
                 let t_data = t_home + self.cfg.mem_access + self.cfg.mem_transfer;
                 let completion = t_data + self.net.line_latency(home, node);
                 let mut s = s;
@@ -511,11 +521,11 @@ impl MemorySystem {
                 self.stats.cache_to_cache += 1;
                 // Forward to owner; owner supplies data and downgrades to
                 // Shared, writing dirty data back to home off-path.
-                let t_owner = t_home + self.net.control_latency(home, owner) + self.cfg.l2_round_trip;
+                let t_owner =
+                    t_home + self.net.control_latency(home, owner) + self.cfg.l2_round_trip;
                 let completion = t_owner + self.net.line_latency(owner, node);
                 let onc = &mut self.nodes[owner.index()];
-                let was_dirty =
-                    onc.l1.probe(line).is_dirty() || onc.l2.probe(line).is_dirty();
+                let was_dirty = onc.l1.probe(line).is_dirty() || onc.l2.probe(line).is_dirty();
                 if onc.l1.probe(line).is_valid() {
                     onc.l1.set_state(line, LineState::Shared);
                 }
@@ -833,7 +843,11 @@ mod tests {
         m.write(n(1), a, Cycles::ZERO);
         m.flush_dirty_shared(n(1), Cycles::from_micros(1));
         let w = m.write(n(1), a, Cycles::from_micros(2));
-        assert_eq!(w.class, AccessClass::Upgrade, "flush cost resurfaces on re-write");
+        assert_eq!(
+            w.class,
+            AccessClass::Upgrade,
+            "flush cost resurfaces on re-write"
+        );
     }
 
     #[test]

@@ -28,11 +28,7 @@ fn addr_pool(m: &BusMemorySystem) -> Vec<Addr> {
         .collect()
 }
 
-fn check_invariants(
-    m: &BusMemorySystem,
-    pool: &[Addr],
-    nodes: u16,
-) -> Result<(), TestCaseError> {
+fn check_invariants(m: &BusMemorySystem, pool: &[Addr], nodes: u16) -> Result<(), TestCaseError> {
     for &addr in pool {
         let line = addr.line();
         let state = m.line_state(line);

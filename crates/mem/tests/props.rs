@@ -91,10 +91,7 @@ fn check_invariants(mem: &MemorySystem, pool: &[Addr], nodes: u16) -> Result<(),
                 m_or_e_holders += 1;
             }
         }
-        prop_assert!(
-            m_or_e_holders <= 1,
-            "multiple M/E holders of {line}"
-        );
+        prop_assert!(m_or_e_holders <= 1, "multiple M/E holders of {line}");
         if m_or_e_holders == 1 {
             prop_assert!(
                 matches!(dir, DirState::Exclusive(_)),

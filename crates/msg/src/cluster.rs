@@ -74,7 +74,10 @@ impl ClusterConfig {
             self.coordinator,
             self.nodes
         );
-        assert!(self.msg_latency > Cycles::ZERO, "messages cannot be instant");
+        assert!(
+            self.msg_latency > Cycles::ZERO,
+            "messages cannot be instant"
+        );
         assert!(self.poll_grain > Cycles::ZERO, "polling cannot be instant");
     }
 }

@@ -37,9 +37,17 @@ enum Event {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum NodeState {
     Computing,
-    Polling { since: Cycles },
-    EnteringSleep { state: SleepStateId, wake_pending: bool },
-    Sleeping { state: SleepStateId, since: Cycles },
+    Polling {
+        since: Cycles,
+    },
+    EnteringSleep {
+        state: SleepStateId,
+        wake_pending: bool,
+    },
+    Sleeping {
+        state: SleepStateId,
+        since: Cycles,
+    },
     ExitingSleep,
     Done,
 }
@@ -245,12 +253,9 @@ impl MsgSimulator {
             self.p_compute,
         );
         // Send the arrival message (free for the coordinator itself).
-        let delivered = self.cluster.delivery(
-            node as u16,
-            self.cluster.coordinator,
-            now,
-            0,
-        );
+        let delivered = self
+            .cluster
+            .delivery(node as u16, self.cluster.coordinator, now, 0);
         self.queue
             .schedule(delivered, Event::ArriveAtCoordinator { episode: step });
         if node == self.coordinator() {
@@ -281,11 +286,16 @@ impl MsgSimulator {
                     wake_pending: false,
                 };
                 self.nodes[node].interrupt_armed = decision.wakeup.external;
-                self.queue.schedule(now + entry, Event::TransitionDone { node });
+                self.queue
+                    .schedule(now + entry, Event::TransitionDone { node });
                 if let Some(at) = decision.wakeup.internal_at {
-                    let id = self
-                        .queue
-                        .schedule(at.max(now), Event::TimerFired { node, episode: step });
+                    let id = self.queue.schedule(
+                        at.max(now),
+                        Event::TimerFired {
+                            node,
+                            episode: step,
+                        },
+                    );
                     self.nodes[node].timer = Some(id);
                 }
                 self.sleeps_by_state[state.index()] += 1;
@@ -392,14 +402,14 @@ impl MsgSimulator {
         }
         let st = self.algo.policy().state(state);
         let p_sleep = st.power_watts(self.power.tdp_max());
-        self.ledger.cpu_mut(node).record(
-            EnergyCategory::Sleep,
-            at.saturating_sub(since),
-            p_sleep,
-        );
         self.ledger
             .cpu_mut(node)
-            .record_transition(st.transition_latency(), p_sleep, self.p_compute);
+            .record(EnergyCategory::Sleep, at.saturating_sub(since), p_sleep);
+        self.ledger.cpu_mut(node).record_transition(
+            st.transition_latency(),
+            p_sleep,
+            self.p_compute,
+        );
         self.nodes[node].state = NodeState::ExitingSleep;
         self.queue
             .schedule(at + st.transition_latency(), Event::TransitionDone { node });
@@ -407,7 +417,10 @@ impl MsgSimulator {
 
     fn on_transition_done(&mut self, node: usize, now: Cycles) {
         match self.nodes[node].state {
-            NodeState::EnteringSleep { state, wake_pending } => {
+            NodeState::EnteringSleep {
+                state,
+                wake_pending,
+            } => {
                 if wake_pending {
                     self.begin_exit(node, state, now, now);
                 } else {
@@ -428,11 +441,13 @@ impl MsgSimulator {
                     self.nodes[node].state = NodeState::Polling { since: now };
                     if self.released[step] {
                         // Release in flight: poll until its delivery.
-                        let at = (self.episode_release[step] + self.cluster.msg_latency)
-                            .max(now);
+                        let at = (self.episode_release[step] + self.cluster.msg_latency).max(now);
                         self.queue.schedule(
                             at,
-                            Event::ReleaseDelivered { node, episode: step },
+                            Event::ReleaseDelivered {
+                                node,
+                                episode: step,
+                            },
                         );
                     }
                 }

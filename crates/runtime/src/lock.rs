@@ -362,7 +362,11 @@ mod tests {
     fn predictor_is_per_site() {
         let lock = ThriftyLock::new(());
         drop(lock.lock(LockSite::new(1)));
-        assert_eq!(lock.predicted_wait(LockSite::new(1)), None, "uncontended: no update");
+        assert_eq!(
+            lock.predicted_wait(LockSite::new(1)),
+            None,
+            "uncontended: no update"
+        );
         assert_eq!(lock.predicted_wait(LockSite::new(2)), None);
     }
 

@@ -11,10 +11,12 @@ use crate::clock::RuntimeClock;
 use crate::stats::{RuntimeStats, ThreadStats};
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 use tb_core::{AlgorithmConfig, BarrierAlgorithm, BarrierPc, SleepChoice, ThreadId};
 use tb_energy::{SleepState, SleepStateId, SleepTable};
 use tb_sim::Cycles;
+use tb_trace::{SinkHandle, SpscSink, TraceEvent, TraceEventKind};
 
 /// The OS-level sleep-state table: a yield loop (shallow) and a timed park
 /// (deep).
@@ -74,6 +76,8 @@ struct Inner {
     condvar: Condvar,
     stats: Vec<Mutex<ThreadStats>>,
     barriers: AtomicU64,
+    trace: SinkHandle,
+    sink: Option<Arc<SpscSink>>,
 }
 
 /// A reusable thrifty barrier for a fixed set of OS threads.
@@ -110,24 +114,65 @@ impl ThriftyRuntimeBarrier {
     /// Panics if `total == 0` or the table has more than two states (the
     /// runtime knows how to execute only yield and park).
     pub fn with_config(total: usize, cfg: AlgorithmConfig) -> Self {
+        ThriftyRuntimeBarrier::build(total, cfg, None)
+    }
+
+    /// Creates a traced barrier: every thread records lifecycle events into
+    /// its own lock-free ring of `capacity_per_thread` events (overflowing
+    /// rings drop the *newest* events so old history stays intact). Drain
+    /// with [`ThriftyRuntimeBarrier::drain_trace`].
+    ///
+    /// # Panics
+    ///
+    /// As [`ThriftyRuntimeBarrier::with_config`], plus
+    /// `capacity_per_thread == 0`.
+    pub fn with_trace(total: usize, cfg: AlgorithmConfig, capacity_per_thread: usize) -> Self {
+        let sink = Arc::new(SpscSink::new(total, capacity_per_thread));
+        ThriftyRuntimeBarrier::build(total, cfg, Some(sink))
+    }
+
+    fn build(total: usize, cfg: AlgorithmConfig, sink: Option<Arc<SpscSink>>) -> Self {
         assert!(total > 0, "a barrier needs at least one thread");
         assert!(
             cfg.sleep_table.len() <= 2,
             "the runtime maps at most two sleep levels (yield, park)"
         );
+        let trace = match &sink {
+            Some(s) => SinkHandle::new(Arc::clone(s) as _),
+            None => SinkHandle::disabled(),
+        };
+        let mut algo = BarrierAlgorithm::new(cfg, total);
+        algo.set_trace(trace.clone());
         ThriftyRuntimeBarrier {
             inner: Inner {
                 total,
                 clock: RuntimeClock::new(),
                 count: AtomicUsize::new(0),
                 sense: AtomicBool::new(false),
-                algo: Mutex::new(BarrierAlgorithm::new(cfg, total)),
+                algo: Mutex::new(algo),
                 gate: Mutex::new(()),
                 condvar: Condvar::new(),
-                stats: (0..total).map(|_| Mutex::new(ThreadStats::default())).collect(),
+                stats: (0..total)
+                    .map(|_| Mutex::new(ThreadStats::default()))
+                    .collect(),
                 barriers: AtomicU64::new(0),
+                trace,
+                sink,
             },
         }
+    }
+
+    /// Drains and returns all trace events captured so far, sorted by
+    /// `(timestamp, thread)`, or `None` when the barrier was built without
+    /// tracing. Call between episodes or after joining the workers; events
+    /// pushed concurrently with the drain may be missed until the next one.
+    pub fn drain_trace(&self) -> Option<Vec<TraceEvent>> {
+        self.inner.sink.as_ref().map(|s| s.drain_sorted())
+    }
+
+    /// Events lost to ring overflow so far (0 without tracing).
+    pub fn trace_dropped(&self) -> u64 {
+        self.inner.sink.as_ref().map_or(0, |s| s.dropped())
     }
 
     /// Number of participating threads.
@@ -160,19 +205,69 @@ impl ThriftyRuntimeBarrier {
             return self.release(tid, pc, local_sense);
         }
         let arrival = inner.clock.now();
+        let episode = inner.barriers.load(Ordering::Acquire);
+        inner.trace.emit(TraceEvent::new(
+            arrival,
+            thread,
+            TraceEventKind::Arrival {
+                episode,
+                pc: pc.as_u64(),
+                last: false,
+            },
+        ));
         let decision = inner.algo.lock().on_early_arrival(tid, pc, arrival);
         let (wake_ts, spin_since) = match decision.choice {
             SleepChoice::Spin => {
                 inner.stats[thread].lock().spins += 1;
+                inner.trace.emit(TraceEvent::new(
+                    arrival,
+                    thread,
+                    TraceEventKind::SpinStart {
+                        episode,
+                        pc: pc.as_u64(),
+                    },
+                ));
                 (None, arrival)
             }
             SleepChoice::Sleep { state, .. } => {
                 inner.stats[thread].lock().sleeps += 1;
-                let woke = if RuntimeSleepLevels::is_park(state) {
+                inner.trace.emit(TraceEvent::new(
+                    arrival,
+                    thread,
+                    TraceEventKind::SleepStart {
+                        episode,
+                        pc: pc.as_u64(),
+                        state: state.index() as u32,
+                        needs_flush: false,
+                    },
+                ));
+                let (woke, timed_out, early) = if RuntimeSleepLevels::is_park(state) {
                     self.park_until(thread, local_sense, decision.wakeup.internal_at)
                 } else {
                     self.yield_until(thread, local_sense, decision.wakeup.internal_at)
                 };
+                let wake_kind = if timed_out {
+                    TraceEventKind::InternalWake {
+                        episode,
+                        pc: pc.as_u64(),
+                    }
+                } else {
+                    TraceEventKind::ExternalWake {
+                        episode,
+                        pc: pc.as_u64(),
+                    }
+                };
+                inner.trace.emit(TraceEvent::new(woke, thread, wake_kind));
+                if early {
+                    inner.trace.emit(TraceEvent::new(
+                        woke,
+                        thread,
+                        TraceEventKind::ResidualSpin {
+                            episode,
+                            pc: pc.as_u64(),
+                        },
+                    ));
+                }
                 (Some(woke), woke)
             }
         };
@@ -186,7 +281,7 @@ impl ThriftyRuntimeBarrier {
         while inner.sense.load(Ordering::Acquire) != local_sense {
             std::hint::spin_loop();
             iterations += 1;
-            if iterations % 4096 == 0 {
+            if iterations.is_multiple_of(4096) {
                 std::thread::yield_now();
             }
         }
@@ -199,6 +294,15 @@ impl ThriftyRuntimeBarrier {
         if finish.disabled {
             inner.stats[thread].lock().cutoff_disables += 1;
         }
+        inner.trace.emit(TraceEvent::new(
+            departed,
+            thread,
+            TraceEventKind::Depart {
+                episode,
+                pc: pc.as_u64(),
+                wake_latency: finish.penalty,
+            },
+        ));
         WaitOutcome {
             was_last: false,
             choice: decision.choice,
@@ -212,6 +316,16 @@ impl ThriftyRuntimeBarrier {
     fn release(&self, tid: ThreadId, pc: BarrierPc, local_sense: bool) -> WaitOutcome {
         let inner = &self.inner;
         let now = inner.clock.now();
+        let episode = inner.barriers.load(Ordering::Acquire);
+        inner.trace.emit(TraceEvent::new(
+            now,
+            tid.index(),
+            TraceEventKind::Arrival {
+                episode,
+                pc: pc.as_u64(),
+                last: true,
+            },
+        ));
         let mut algo = inner.algo.lock();
         algo.on_last_arrival(tid, pc, now);
         inner.count.store(0, Ordering::Release);
@@ -225,6 +339,15 @@ impl ThriftyRuntimeBarrier {
         let finish = algo.finish_barrier(tid, pc, inner.clock.now());
         drop(algo);
         inner.barriers.fetch_add(1, Ordering::AcqRel);
+        inner.trace.emit(TraceEvent::new(
+            inner.clock.now(),
+            tid.index(),
+            TraceEventKind::Depart {
+                episode,
+                pc: pc.as_u64(),
+                wake_latency: Cycles::ZERO,
+            },
+        ));
         WaitOutcome {
             was_last: true,
             choice: SleepChoice::Spin,
@@ -237,8 +360,14 @@ impl ThriftyRuntimeBarrier {
 
     /// Deep sleep: park on the condvar until the release broadcast
     /// (external wake-up) or the internal timeout. Returns the wake-up
-    /// timestamp.
-    fn park_until(&self, thread: usize, local_sense: bool, deadline: Option<Cycles>) -> Cycles {
+    /// timestamp plus whether the timer fired and whether it fired *early*
+    /// (before the release).
+    fn park_until(
+        &self,
+        thread: usize,
+        local_sense: bool,
+        deadline: Option<Cycles>,
+    ) -> (Cycles, bool, bool) {
         let inner = &self.inner;
         let start = inner.clock.now();
         let mut guard = inner.gate.lock();
@@ -262,17 +391,24 @@ impl ThriftyRuntimeBarrier {
         }
         drop(guard);
         let woke = inner.clock.now();
+        let early = timed_out && inner.sense.load(Ordering::Acquire) != local_sense;
         let mut stats = inner.stats[thread].lock();
         stats.parked += woke.saturating_sub(start);
-        if timed_out && inner.sense.load(Ordering::Acquire) != local_sense {
+        if early {
             stats.early_wakeups += 1;
         }
-        woke
+        (woke, timed_out, early)
     }
 
     /// Shallow sleep: cede the core repeatedly until the flip or the
-    /// internal timeout. Returns the wake-up timestamp.
-    fn yield_until(&self, thread: usize, local_sense: bool, deadline: Option<Cycles>) -> Cycles {
+    /// internal timeout. Same return convention as
+    /// [`ThriftyRuntimeBarrier::park_until`].
+    fn yield_until(
+        &self,
+        thread: usize,
+        local_sense: bool,
+        deadline: Option<Cycles>,
+    ) -> (Cycles, bool, bool) {
         let inner = &self.inner;
         let start = inner.clock.now();
         let mut timed_out = false;
@@ -286,12 +422,13 @@ impl ThriftyRuntimeBarrier {
             std::thread::yield_now();
         }
         let woke = inner.clock.now();
+        let early = timed_out && inner.sense.load(Ordering::Acquire) != local_sense;
         let mut stats = inner.stats[thread].lock();
         stats.yielded += woke.saturating_sub(start);
-        if timed_out && inner.sense.load(Ordering::Acquire) != local_sense {
+        if early {
             stats.early_wakeups += 1;
         }
-        woke
+        (woke, timed_out, early)
     }
 }
 
@@ -468,6 +605,58 @@ mod tests {
             "later episodes predict"
         );
         assert!(outs.iter().all(|o| o.stall > Cycles::ZERO));
+    }
+
+    #[test]
+    fn traced_barrier_captures_consistent_events() {
+        use tb_trace::{TraceKindCounts, TraceSummary};
+        let threads = 4;
+        let episodes = 10;
+        let cfg = AlgorithmConfig {
+            sleep_table: RuntimeSleepLevels::table(),
+            ..AlgorithmConfig::thrifty()
+        };
+        let barrier = Arc::new(ThriftyRuntimeBarrier::with_trace(threads, cfg, 4096));
+        run_phases(Arc::clone(&barrier), threads, episodes, |t, _| {
+            if t == 0 {
+                Duration::from_millis(4)
+            } else {
+                Duration::from_micros(50)
+            }
+        });
+        let events = barrier.drain_trace().expect("tracing was enabled");
+        assert_eq!(barrier.trace_dropped(), 0);
+        assert!(events.windows(2).all(|w| w[0].at <= w[1].at), "sorted");
+
+        let counts = TraceKindCounts::from_events(&events);
+        let stats = barrier.stats().combined();
+        let total = (threads * episodes) as u64;
+        assert_eq!(counts.releases, episodes as u64);
+        assert_eq!(counts.last_arrivals, episodes as u64);
+        assert_eq!(counts.arrivals, total - episodes as u64);
+        assert_eq!(counts.departs, total);
+        assert_eq!(counts.sleep_starts, stats.sleeps);
+        assert_eq!(counts.spin_starts, stats.spins);
+        assert_eq!(
+            counts.internal_wakes + counts.external_wakes,
+            stats.sleeps,
+            "every sleep woke exactly once"
+        );
+        assert_eq!(counts.residual_spins, stats.early_wakeups);
+        assert!(counts.sleep_starts > 0, "the straggler forced sleeps");
+
+        let summary = TraceSummary::from_events(&events, barrier.trace_dropped());
+        assert_eq!(summary.events, events.len() as u64);
+        // The latency digest covers sleeper departures only; each sleep is
+        // followed by exactly one departure of that thread.
+        assert_eq!(summary.wake_latency.samples, counts.sleep_starts);
+    }
+
+    #[test]
+    fn untraced_barrier_has_no_trace() {
+        let barrier = ThriftyRuntimeBarrier::new(1);
+        assert!(barrier.drain_trace().is_none());
+        assert_eq!(barrier.trace_dropped(), 0);
     }
 
     #[test]

@@ -107,7 +107,7 @@ fn barrier_and_lock_compose() {
                     // After the barrier, every thread of this episode has
                     // contributed.
                     let expected_min: u64 = (0..threads)
-                        .map(|x| (x + 0) as u64) // episode 0 lower bound
+                        .map(|x| x as u64) // episode 0 lower bound
                         .sum();
                     assert!(*l.lock(LockSite::new(0x1)) >= expected_min);
                 }
@@ -177,5 +177,9 @@ fn lock_stress_with_rotating_contention() {
     assert_eq!(data.len(), threads * pushes);
     data.sort_unstable();
     data.dedup();
-    assert_eq!(data.len(), threads * pushes, "no lost or duplicated updates");
+    assert_eq!(
+        data.len(),
+        threads * pushes,
+        "no lost or duplicated updates"
+    );
 }

@@ -34,5 +34,5 @@ pub mod time;
 
 pub use event::{EventId, EventQueue};
 pub use rng::SimRng;
-pub use stats::{Counter, Histogram, OnlineStats};
+pub use stats::{Counter, Histogram, OnlineStats, QuantileSketch};
 pub use time::{Cycles, TimeDelta};

@@ -151,7 +151,10 @@ impl SimRng {
     ///
     /// Panics if `xm <= 0` or `alpha <= 0`.
     pub fn pareto(&mut self, xm: f64, alpha: f64) -> f64 {
-        assert!(xm > 0.0 && alpha > 0.0, "pareto requires positive parameters");
+        assert!(
+            xm > 0.0 && alpha > 0.0,
+            "pareto requires positive parameters"
+        );
         let u = loop {
             let u = self.uniform();
             if u > 0.0 {
@@ -294,7 +297,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<_>>());
-        assert_ne!(v, (0..100).collect::<Vec<_>>(), "astronomically unlikely identity");
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<_>>(),
+            "astronomically unlikely identity"
+        );
     }
 
     #[test]

@@ -21,13 +21,22 @@ use std::fmt;
 /// assert!((s.mean() - 5.0).abs() < 1e-12);
 /// assert!((s.population_variance() - 4.0).abs() < 1e-12);
 /// ```
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct OnlineStats {
     count: u64,
     mean: f64,
     m2: f64,
     min: f64,
     max: f64,
+}
+
+/// `Default` must agree with [`OnlineStats::new`]: a derived default would
+/// start `min`/`max` at 0.0, which corrupts the extrema of any stream that
+/// never crosses zero (e.g. all-positive latencies would report min 0.0).
+impl Default for OnlineStats {
+    fn default() -> Self {
+        OnlineStats::new()
+    }
 }
 
 impl OnlineStats {
@@ -247,6 +256,138 @@ impl Histogram {
     }
 }
 
+/// Number of linear sub-buckets per power-of-two octave in
+/// [`QuantileSketch`]. 16 sub-buckets bound the relative quantile error by
+/// `1/16 ≈ 6%` per octave.
+const SKETCH_SUB_BUCKETS: usize = 16;
+/// Octaves covering the full `u64` range (values `0..2^64`).
+const SKETCH_OCTAVES: usize = 65;
+
+/// A mergeable log-spaced quantile sketch for non-negative integer samples
+/// (latencies in cycles), HDR-histogram style: one bucket row per
+/// power-of-two octave, linearly subdivided, so memory is constant
+/// (`65 × 16` counters) while relative error stays below ~6% across the
+/// entire `u64` range.
+///
+/// # Examples
+///
+/// ```
+/// use tb_sim::QuantileSketch;
+///
+/// let mut s = QuantileSketch::new();
+/// for v in 1..=1000u64 {
+///     s.push(v);
+/// }
+/// let p50 = s.quantile(0.50).unwrap();
+/// assert!((p50 - 500.0).abs() / 500.0 < 0.07);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuantileSketch {
+    buckets: Vec<u64>,
+    count: u64,
+    max: u64,
+}
+
+impl QuantileSketch {
+    /// Creates an empty sketch.
+    pub fn new() -> Self {
+        QuantileSketch {
+            buckets: vec![0; SKETCH_OCTAVES * SKETCH_SUB_BUCKETS],
+            count: 0,
+            max: 0,
+        }
+    }
+
+    fn bucket_index(v: u64) -> usize {
+        if v < SKETCH_SUB_BUCKETS as u64 {
+            // The first octaves are exact: one bucket per value.
+            return v as usize;
+        }
+        let exp = 63 - v.leading_zeros() as usize;
+        let sub = (v >> (exp - 4)) as usize & (SKETCH_SUB_BUCKETS - 1);
+        exp * SKETCH_SUB_BUCKETS + sub
+    }
+
+    /// The representative (midpoint) value of bucket `idx`.
+    fn bucket_value(idx: usize) -> f64 {
+        if idx < SKETCH_SUB_BUCKETS {
+            return idx as f64;
+        }
+        let exp = idx / SKETCH_SUB_BUCKETS;
+        let sub = idx % SKETCH_SUB_BUCKETS;
+        let lo = (1u128 << exp) + ((sub as u128) << (exp - 4));
+        let width = 1u128 << (exp - 4);
+        lo as f64 + width as f64 / 2.0
+    }
+
+    /// Records one sample.
+    pub fn push(&mut self, v: u64) {
+        self.buckets[Self::bucket_index(v)] += 1;
+        self.count += 1;
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The exact largest sample, or `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`, or `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        if target >= self.count {
+            // The top rank is the exact maximum; don't approximate it.
+            return Some(self.max as f64);
+        }
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return Some(Self::bucket_value(i).min(self.max as f64));
+            }
+        }
+        Some(self.max as f64)
+    }
+
+    /// Merges another sketch into this one (bucket-wise addition).
+    pub fn merge(&mut self, other: &QuantileSketch) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        QuantileSketch::new()
+    }
+}
+
+impl fmt::Display for QuantileSketch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} p50={:.0} p95={:.0} p99={:.0} max={}",
+            self.count,
+            self.quantile(0.50).unwrap_or(0.0),
+            self.quantile(0.95).unwrap_or(0.0),
+            self.quantile(0.99).unwrap_or(0.0),
+            self.max().unwrap_or(0)
+        )
+    }
+}
+
 /// A labeled monotonically increasing event counter.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Counter {
@@ -353,6 +494,27 @@ mod tests {
     }
 
     #[test]
+    fn default_matches_new_and_keeps_extrema_honest() {
+        // Regression: the derived `Default` used to start min/max at 0.0,
+        // so an all-positive stream reported min = 0.0 (and an all-negative
+        // one max = 0.0).
+        let mut s = OnlineStats::default();
+        s.push(5.0);
+        s.push(7.0);
+        assert_eq!(s.min(), Some(5.0));
+        assert_eq!(s.max(), Some(7.0));
+
+        let mut neg = OnlineStats::default();
+        neg.push(-3.0);
+        assert_eq!(neg.max(), Some(-3.0));
+        assert_eq!(neg.min(), Some(-3.0));
+
+        // And an untouched default reports no extrema at all.
+        assert_eq!(OnlineStats::default().min(), None);
+        assert_eq!(OnlineStats::default().max(), None);
+    }
+
+    #[test]
     fn cv_is_relative_dispersion() {
         let mut tight = OnlineStats::new();
         let mut loose = OnlineStats::new();
@@ -397,6 +559,66 @@ mod tests {
     #[should_panic(expected = "histogram range")]
     fn histogram_rejects_empty_range() {
         let _ = Histogram::new(1.0, 1.0, 4);
+    }
+
+    #[test]
+    fn sketch_is_exact_for_small_values() {
+        let mut s = QuantileSketch::new();
+        for v in [0u64, 1, 2, 3, 3, 3, 9] {
+            s.push(v);
+        }
+        assert_eq!(s.count(), 7);
+        assert_eq!(s.max(), Some(9));
+        assert_eq!(s.quantile(0.0), Some(0.0));
+        assert_eq!(s.quantile(0.5), Some(3.0));
+        assert_eq!(s.quantile(1.0), Some(9.0));
+    }
+
+    #[test]
+    fn sketch_quantiles_bounded_relative_error() {
+        let mut s = QuantileSketch::new();
+        for v in 1..=100_000u64 {
+            s.push(v);
+        }
+        for (q, expect) in [(0.50, 50_000.0), (0.95, 95_000.0), (0.99, 99_000.0)] {
+            let got = s.quantile(q).unwrap();
+            assert!(
+                (got - expect).abs() / expect < 0.07,
+                "q{q}: got {got}, want ~{expect}"
+            );
+        }
+        assert!(s.quantile(0.5).unwrap() <= s.quantile(0.95).unwrap());
+    }
+
+    #[test]
+    fn sketch_merge_equals_sequential() {
+        let mut all = QuantileSketch::new();
+        let mut a = QuantileSketch::new();
+        let mut b = QuantileSketch::new();
+        for v in 0..5_000u64 {
+            all.push(v * 17);
+            if v % 2 == 0 {
+                a.push(v * 17);
+            } else {
+                b.push(v * 17);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.max(), all.max());
+        assert_eq!(a.quantile(0.9), all.quantile(0.9));
+    }
+
+    #[test]
+    fn sketch_handles_extreme_values() {
+        let mut s = QuantileSketch::new();
+        s.push(u64::MAX);
+        s.push(0);
+        assert_eq!(s.quantile(0.01), Some(0.0));
+        // The top quantile is clamped to the exact max.
+        assert_eq!(s.quantile(1.0), Some(u64::MAX as f64));
+        assert_eq!(QuantileSketch::default().quantile(0.5), None);
+        assert!(!s.to_string().is_empty());
     }
 
     #[test]

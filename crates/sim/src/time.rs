@@ -24,7 +24,9 @@ use std::ops::{Add, AddAssign, Div, Mul, Rem, Sub, SubAssign};
 /// assert_eq!(t.as_u64(), 10_000);
 /// assert_eq!(t + Cycles::new(500), Cycles::new(10_500));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Cycles(u64);
 
 /// Nominal processor clock frequency in Hz (Table 1: 1 GHz).
@@ -222,7 +224,9 @@ impl From<u64> for Cycles {
 /// Signed time difference in cycles, produced by [`Cycles::delta`].
 ///
 /// 128-bit so that no subtraction of two valid `Cycles` can overflow.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct TimeDelta(i128);
 
 impl TimeDelta {

@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+//! Per-episode barrier tracing for the thrifty-barrier reproduction.
+//!
+//! The simulator and the real-threads runtime both expose *aggregate*
+//! counters; this crate captures the *sequence* — every arrival, BIT
+//! prediction, sleep-state entry, flush, wake-up, and departure as a
+//! timestamped, thread-attributed event — cheaply enough to leave compiled
+//! in:
+//!
+//! * [`event`] — the fixed-size, `Copy` event vocabulary
+//!   ([`TraceEvent`], [`TraceEventKind`]).
+//! * [`ring`] — bounded storage: [`EventRing`] (overwrite-oldest) and the
+//!   lock-free [`SpscRing`] used by real threads.
+//! * [`sink`] — the [`TraceSink`] trait and the [`SinkHandle`] that
+//!   instrumented components embed; a disabled handle reduces `emit` to a
+//!   single branch.
+//! * [`export`] — JSONL and Chrome/Perfetto `trace_event` exporters
+//!   (load the latter at <https://ui.perfetto.dev>).
+//! * [`analyze`] — per-kind accounting ([`TraceKindCounts`]), the §3.4.2
+//!   prediction-accuracy report ([`PredictionAccuracyReport`]), and
+//!   wake-up latency percentiles ([`WakeLatencyReport`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use std::sync::Arc;
+//! use tb_sim::Cycles;
+//! use tb_trace::{MemorySink, SinkHandle, TraceEvent, TraceEventKind, TraceSummary};
+//!
+//! let sink = Arc::new(MemorySink::new(2, 1024));
+//! let handle = SinkHandle::new(sink.clone());
+//! handle.emit(TraceEvent::new(
+//!     Cycles::new(5),
+//!     0,
+//!     TraceEventKind::SpinStart { episode: 0, pc: 0x10 },
+//! ));
+//! let events = sink.drain_sorted();
+//! let summary = TraceSummary::from_events(&events, sink.dropped());
+//! assert_eq!(summary.counts.spin_starts, 1);
+//! ```
+
+pub mod analyze;
+pub mod event;
+pub mod export;
+pub mod ring;
+pub mod sink;
+
+pub use analyze::{
+    PcAccuracy, PredictionAccuracyReport, TraceKindCounts, TraceSummary, WakeLatencyReport,
+    WakeLatencySummary,
+};
+pub use event::{TraceEvent, TraceEventKind};
+pub use export::{perfetto_instant_count, to_jsonl, to_perfetto};
+pub use ring::{EventRing, SpscRing};
+pub use sink::{MemorySink, NullSink, SinkHandle, SpscSink, TraceSink};

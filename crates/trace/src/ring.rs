@@ -1,0 +1,279 @@
+//! Fixed-capacity event storage: a plain ring buffer for single-threaded
+//! capture and a lock-free single-producer/single-consumer ring for the
+//! real-threads runtime.
+
+use crate::event::TraceEvent;
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// A fixed-capacity ring buffer of trace events that overwrites the oldest
+/// entry when full, counting how many were lost.
+///
+/// Capture must never block or grow, so under pressure the *oldest* events
+/// are sacrificed: the tail of a run (where mispredictions accumulate) is
+/// usually the interesting part.
+#[derive(Debug, Clone)]
+pub struct EventRing {
+    buf: Vec<TraceEvent>,
+    capacity: usize,
+    /// Index of the next slot to write (wraps).
+    next: usize,
+    /// Events overwritten because the ring was full.
+    dropped: u64,
+}
+
+impl EventRing {
+    /// Creates a ring holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        EventRing {
+            buf: Vec::with_capacity(capacity),
+            capacity,
+            next: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Appends one event, overwriting the oldest when full. Never
+    /// allocates once the ring has filled.
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.next] = ev;
+            self.dropped += 1;
+        }
+        self.next = (self.next + 1) % self.capacity;
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The retained events in recording order (oldest first).
+    pub fn to_vec(&self) -> Vec<TraceEvent> {
+        if self.buf.len() < self.capacity {
+            self.buf.clone()
+        } else {
+            let mut out = Vec::with_capacity(self.capacity);
+            out.extend_from_slice(&self.buf[self.next..]);
+            out.extend_from_slice(&self.buf[..self.next]);
+            out
+        }
+    }
+}
+
+/// A lock-free single-producer/single-consumer event ring for the
+/// real-threads runtime: the owning thread pushes without taking any lock,
+/// and a quiesced-time reader drains.
+///
+/// Unlike [`EventRing`], a full SPSC ring drops the *newest* event
+/// (overwriting the oldest under a concurrent reader is not possible
+/// without locks), again counting losses.
+#[derive(Debug)]
+pub struct SpscRing {
+    buf: Box<[UnsafeCell<MaybeUninit<TraceEvent>>]>,
+    /// Next sequence number to write; owned by the producer.
+    head: AtomicUsize,
+    /// Next sequence number to read; owned by the consumer.
+    tail: AtomicUsize,
+    /// Events rejected because the ring was full.
+    dropped: AtomicU64,
+}
+
+// SAFETY: slots between `tail` and `head` are initialized and only touched
+// by the consumer; slots outside that window only by the producer. The
+// Release store of `head` in `push` publishes the slot write to the
+// consumer's Acquire load, and symmetrically for `tail`.
+unsafe impl Send for SpscRing {}
+unsafe impl Sync for SpscRing {}
+
+impl SpscRing {
+    /// Creates a ring holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        let buf: Vec<UnsafeCell<MaybeUninit<TraceEvent>>> = (0..capacity)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect();
+        SpscRing {
+            buf: buf.into_boxed_slice(),
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends one event. Must only be called from the single producer
+    /// thread. Returns `false` (and counts a drop) when the ring is full.
+    #[inline]
+    pub fn push(&self, ev: TraceEvent) -> bool {
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Acquire);
+        if head.wrapping_sub(tail) == self.buf.len() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        let slot = &self.buf[head % self.buf.len()];
+        // SAFETY: the slot is outside the reader's window (see type-level
+        // safety comment), and we are the only producer.
+        unsafe { (*slot.get()).write(ev) };
+        self.head.store(head.wrapping_add(1), Ordering::Release);
+        true
+    }
+
+    /// Removes the oldest event. Must only be called from the single
+    /// consumer thread.
+    #[inline]
+    pub fn pop(&self) -> Option<TraceEvent> {
+        let tail = self.tail.load(Ordering::Relaxed);
+        let head = self.head.load(Ordering::Acquire);
+        if tail == head {
+            return None;
+        }
+        let slot = &self.buf[tail % self.buf.len()];
+        // SAFETY: `tail < head`, so the producer has initialized this slot
+        // and published it with its Release store of `head`.
+        let ev = unsafe { (*slot.get()).assume_init() };
+        self.tail.store(tail.wrapping_add(1), Ordering::Release);
+        Some(ev)
+    }
+
+    /// Events rejected because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.head
+            .load(Ordering::Acquire)
+            .wrapping_sub(self.tail.load(Ordering::Acquire))
+    }
+
+    /// `true` when no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drains everything currently buffered (consumer side).
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(self.len());
+        while let Some(ev) = self.pop() {
+            out.push(ev);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEventKind;
+    use tb_sim::Cycles;
+
+    fn ev(i: u64) -> TraceEvent {
+        TraceEvent::new(
+            Cycles::new(i),
+            0,
+            TraceEventKind::SpinStart { episode: i, pc: 1 },
+        )
+    }
+
+    #[test]
+    fn ring_keeps_newest_when_full() {
+        let mut r = EventRing::new(4);
+        for i in 0..10 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 6);
+        let kept: Vec<u64> = r.to_vec().iter().map(|e| e.at.as_u64()).collect();
+        assert_eq!(kept, vec![6, 7, 8, 9], "oldest overwritten, order kept");
+    }
+
+    #[test]
+    fn ring_below_capacity_keeps_everything() {
+        let mut r = EventRing::new(8);
+        assert!(r.is_empty());
+        for i in 0..3 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.dropped(), 0);
+        assert_eq!(r.to_vec().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = EventRing::new(0);
+    }
+
+    #[test]
+    fn spsc_single_thread_fifo() {
+        let r = SpscRing::new(4);
+        for i in 0..4 {
+            assert!(r.push(ev(i)));
+        }
+        assert!(!r.push(ev(99)), "full ring rejects");
+        assert_eq!(r.dropped(), 1);
+        assert_eq!(r.len(), 4);
+        let drained: Vec<u64> = r.drain().iter().map(|e| e.at.as_u64()).collect();
+        assert_eq!(drained, vec![0, 1, 2, 3]);
+        assert!(r.is_empty());
+        // Reusable after draining.
+        assert!(r.push(ev(5)));
+        assert_eq!(r.pop().unwrap().at, Cycles::new(5));
+    }
+
+    #[test]
+    fn spsc_cross_thread_transfers_everything() {
+        use std::sync::Arc;
+        let r = Arc::new(SpscRing::new(64));
+        let producer = {
+            let r = Arc::clone(&r);
+            std::thread::spawn(move || {
+                let mut pushed = 0u64;
+                for i in 0..10_000 {
+                    if r.push(ev(i)) {
+                        pushed += 1;
+                    }
+                }
+                pushed
+            })
+        };
+        let mut got: Vec<u64> = Vec::new();
+        while !producer.is_finished() {
+            while let Some(e) = r.pop() {
+                got.push(e.at.as_u64());
+            }
+        }
+        let pushed = producer.join().unwrap();
+        while let Some(e) = r.pop() {
+            got.push(e.at.as_u64());
+        }
+        assert_eq!(got.len() as u64, pushed);
+        assert_eq!(pushed + r.dropped(), 10_000);
+        // FIFO order is preserved.
+        assert!(got.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,260 @@
+//! Where captured events go: the [`TraceSink`] trait, a disabled sink, a
+//! mutex-guarded in-memory sink for the simulator, and a lock-free
+//! per-thread sink for the real-threads runtime.
+
+use crate::event::TraceEvent;
+use crate::ring::{EventRing, SpscRing};
+use std::sync::{Arc, Mutex};
+
+/// Destination for trace events.
+///
+/// Producers call [`record`](TraceSink::record) from their hot paths, so
+/// implementations must be cheap and must never block for long; sinks with
+/// bounded storage drop events (and count the drops) rather than stall the
+/// workload.
+pub trait TraceSink: Send + Sync {
+    /// Records one event.
+    fn record(&self, ev: TraceEvent);
+
+    /// Whether this sink wants events at all. Producers may (but need not)
+    /// skip event construction when this returns `false`.
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// A sink that discards everything. Exists mostly for overhead
+/// measurements; production code expresses "tracing off" as a
+/// [`SinkHandle::disabled`] handle instead, which skips even the virtual
+/// call.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&self, _ev: TraceEvent) {}
+
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// A cheap, cloneable, optional reference to a sink.
+///
+/// This is what instrumented components embed. The default handle is
+/// disabled: `emit` is then a single `Option` test with no virtual call, so
+/// instrumentation costs nearly nothing when tracing is off.
+#[derive(Clone, Default)]
+pub struct SinkHandle(Option<Arc<dyn TraceSink>>);
+
+impl std::fmt::Debug for SinkHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("SinkHandle")
+            .field(&if self.0.is_some() {
+                "attached"
+            } else {
+                "disabled"
+            })
+            .finish()
+    }
+}
+
+impl SinkHandle {
+    /// A handle that records nothing.
+    pub fn disabled() -> Self {
+        SinkHandle(None)
+    }
+
+    /// Wraps a concrete sink.
+    pub fn new(sink: Arc<dyn TraceSink>) -> Self {
+        SinkHandle(Some(sink))
+    }
+
+    /// Whether events will actually be kept.
+    pub fn is_enabled(&self) -> bool {
+        self.0.as_ref().is_some_and(|s| s.enabled())
+    }
+
+    /// Records one event if a sink is attached.
+    #[inline]
+    pub fn emit(&self, ev: TraceEvent) {
+        if let Some(sink) = &self.0 {
+            sink.record(ev);
+        }
+    }
+}
+
+impl From<Arc<dyn TraceSink>> for SinkHandle {
+    fn from(sink: Arc<dyn TraceSink>) -> Self {
+        SinkHandle::new(sink)
+    }
+}
+
+/// An in-memory sink with one mutex-guarded [`EventRing`] per thread.
+///
+/// Suited to the discrete-event simulator, where `record` is called from a
+/// single driver thread and the per-thread mutexes are never contended.
+#[derive(Debug)]
+pub struct MemorySink {
+    rings: Vec<Mutex<EventRing>>,
+}
+
+impl MemorySink {
+    /// Creates a sink for `threads` threads with `capacity_per_thread`
+    /// events of storage each.
+    pub fn new(threads: usize, capacity_per_thread: usize) -> Self {
+        MemorySink {
+            rings: (0..threads)
+                .map(|_| Mutex::new(EventRing::new(capacity_per_thread)))
+                .collect(),
+        }
+    }
+
+    /// Total events dropped across all threads.
+    pub fn dropped(&self) -> u64 {
+        self.rings.iter().map(|r| r.lock().unwrap().dropped()).sum()
+    }
+
+    /// Collects every retained event, sorted by timestamp (ties broken by
+    /// thread index for determinism).
+    pub fn drain_sorted(&self) -> Vec<TraceEvent> {
+        let mut all: Vec<TraceEvent> = Vec::new();
+        for ring in &self.rings {
+            all.extend(ring.lock().unwrap().to_vec());
+        }
+        all.sort_by_key(|ev| (ev.at, ev.thread));
+        all
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&self, ev: TraceEvent) {
+        if let Some(ring) = self.rings.get(ev.thread as usize) {
+            ring.lock().unwrap().push(ev);
+        }
+    }
+}
+
+/// A lock-free sink with one [`SpscRing`] per thread, for the real-threads
+/// runtime.
+///
+/// Routing is by `ev.thread`, and every producer emits only events stamped
+/// with its own thread index (the algorithm emits on the calling thread),
+/// so each ring sees exactly one producer — the SPSC contract holds without
+/// any locking on the record path.
+#[derive(Debug)]
+pub struct SpscSink {
+    rings: Vec<SpscRing>,
+}
+
+impl SpscSink {
+    /// Creates a sink for `threads` threads with `capacity_per_thread`
+    /// events of storage each.
+    pub fn new(threads: usize, capacity_per_thread: usize) -> Self {
+        SpscSink {
+            rings: (0..threads)
+                .map(|_| SpscRing::new(capacity_per_thread))
+                .collect(),
+        }
+    }
+
+    /// Total events dropped across all threads.
+    pub fn dropped(&self) -> u64 {
+        self.rings.iter().map(|r| r.dropped()).sum()
+    }
+
+    /// Drains every ring (single consumer: call after the traced section
+    /// has quiesced), sorted by timestamp with thread-index tie-breaks.
+    pub fn drain_sorted(&self) -> Vec<TraceEvent> {
+        let mut all: Vec<TraceEvent> = Vec::new();
+        for ring in &self.rings {
+            all.extend(ring.drain());
+        }
+        all.sort_by_key(|ev| (ev.at, ev.thread));
+        all
+    }
+}
+
+impl TraceSink for SpscSink {
+    fn record(&self, ev: TraceEvent) {
+        if let Some(ring) = self.rings.get(ev.thread as usize) {
+            ring.push(ev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEventKind;
+    use tb_sim::Cycles;
+
+    fn ev(t: u64, thread: usize) -> TraceEvent {
+        TraceEvent::new(
+            Cycles::new(t),
+            thread,
+            TraceEventKind::SpinStart { episode: t, pc: 1 },
+        )
+    }
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let h = SinkHandle::default();
+        assert!(!h.is_enabled());
+        h.emit(ev(1, 0)); // no-op, must not panic
+        assert_eq!(format!("{h:?}"), "SinkHandle(\"disabled\")");
+    }
+
+    #[test]
+    fn null_sink_reports_disabled() {
+        let h = SinkHandle::new(Arc::new(NullSink));
+        assert!(!h.is_enabled());
+        h.emit(ev(1, 0));
+    }
+
+    #[test]
+    fn memory_sink_routes_and_sorts() {
+        let sink = Arc::new(MemorySink::new(2, 8));
+        let h = SinkHandle::new(Arc::clone(&sink) as Arc<dyn TraceSink>);
+        assert!(h.is_enabled());
+        h.emit(ev(5, 1));
+        h.emit(ev(3, 0));
+        h.emit(ev(5, 0));
+        h.emit(ev(9, 99)); // out-of-range thread is ignored
+        let drained = sink.drain_sorted();
+        let order: Vec<(u64, u32)> = drained.iter().map(|e| (e.at.as_u64(), e.thread)).collect();
+        assert_eq!(order, vec![(3, 0), (5, 0), (5, 1)]);
+        assert_eq!(sink.dropped(), 0);
+    }
+
+    #[test]
+    fn memory_sink_counts_drops() {
+        let sink = MemorySink::new(1, 2);
+        for i in 0..5 {
+            sink.record(ev(i, 0));
+        }
+        assert_eq!(sink.dropped(), 3);
+        assert_eq!(sink.drain_sorted().len(), 2);
+    }
+
+    #[test]
+    fn spsc_sink_routes_per_thread() {
+        let sink = Arc::new(SpscSink::new(4, 128));
+        let handles: Vec<_> = (0..4)
+            .map(|tid| {
+                let sink = Arc::clone(&sink);
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        sink.record(ev(i, tid));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let drained = sink.drain_sorted();
+        assert_eq!(drained.len(), 400);
+        assert_eq!(sink.dropped(), 0);
+        assert!(drained.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+}

@@ -64,7 +64,10 @@ impl AppSpec {
 
     /// The five *target* applications (imbalance ≥ 10 %).
     pub fn targets() -> Vec<AppSpec> {
-        AppSpec::splash2().into_iter().filter(|a| a.is_target()).collect()
+        AppSpec::splash2()
+            .into_iter()
+            .filter(|a| a.is_target())
+            .collect()
     }
 
     /// Volrend: volume rendering, `head` input. Highly imbalanced ray
@@ -370,8 +373,14 @@ mod tests {
     fn fft_and_cholesky_have_only_one_shot_barriers() {
         for name in ["FFT", "Cholesky"] {
             let app = AppSpec::by_name(name).unwrap();
-            assert!(app.loop_phases.is_empty(), "{name} must not repeat barriers");
-            assert!(app.setup_phases.len() >= 5, "{name} has a handful of barriers");
+            assert!(
+                app.loop_phases.is_empty(),
+                "{name} must not repeat barriers"
+            );
+            assert!(
+                app.setup_phases.len() >= 5,
+                "{name} has a handful of barriers"
+            );
         }
     }
 
@@ -424,7 +433,10 @@ mod tests {
 
     #[test]
     fn by_name_unknown_is_none() {
-        assert!(AppSpec::by_name("Raytrace").is_none(), "excluded by the paper");
+        assert!(
+            AppSpec::by_name("Raytrace").is_none(),
+            "excluded by the paper"
+        );
         assert!(AppSpec::by_name("LU").is_none(), "excluded by the paper");
     }
 

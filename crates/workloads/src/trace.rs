@@ -170,8 +170,9 @@ impl AppSpec {
     /// itself and by tests).
     pub fn generate_with_spread(&self, threads: usize, seed: u64, spread: f64) -> AppTrace {
         let root = SimRng::new(seed).derive(&self.name, 0);
-        let mut steps =
-            Vec::with_capacity(self.setup_phases.len() + self.loop_phases.len() * self.iterations as usize);
+        let mut steps = Vec::with_capacity(
+            self.setup_phases.len() + self.loop_phases.len() * self.iterations as usize,
+        );
         for (i, phase) in self.setup_phases.iter().enumerate() {
             let mut rng = root.derive("setup", i as u64);
             steps.push(TraceStep {
@@ -376,11 +377,7 @@ mod tests {
         assert!(extended > 2, "some episodes disturbed ({extended})");
         assert!(extended < t.len(), "not all episodes disturbed");
         // Undisturbed episodes are bit-identical.
-        assert!(t
-            .steps
-            .iter()
-            .zip(&d.steps)
-            .any(|(a, b)| a == b));
+        assert!(t.steps.iter().zip(&d.steps).any(|(a, b)| a == b));
     }
 
     #[test]

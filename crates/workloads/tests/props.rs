@@ -6,11 +6,11 @@ use tb_workloads::{AppSpec, PhaseSpec, Variability};
 
 fn arb_spec() -> impl Strategy<Value = AppSpec> {
     (
-        1usize..4,              // loop phases
-        1u32..12,               // iterations
-        100u64..5_000,          // base interval µs
-        0.02f64..0.40,          // target imbalance
-        1.0f64..3.0,            // skew
+        1usize..4,     // loop phases
+        1u32..12,      // iterations
+        100u64..5_000, // base interval µs
+        0.02f64..0.40, // target imbalance
+        1.0f64..3.0,   // skew
     )
         .prop_map(|(phases, iterations, base_us, target, skew)| AppSpec {
             name: "Prop".into(),

@@ -42,7 +42,5 @@ fn main() {
             r.counts.spins,
         );
     }
-    println!(
-        "\npaper: ~12% slowdown without the cut-off, within 3.5% of Baseline with it"
-    );
+    println!("\npaper: ~12% slowdown without the cut-off, within 3.5% of Baseline with it");
 }

@@ -32,8 +32,8 @@ fn main() {
     let baseline = &reports[0];
 
     println!(
-        "{:<13} {:>9} {:>10} {:>9}   {}",
-        "config", "energy", "vs base", "time", "energy breakdown (C/S/T/Z %)"
+        "{:<13} {:>9} {:>10} {:>9}   energy breakdown (C/S/T/Z %)",
+        "config", "energy", "vs base", "time"
     );
     for r in &reports {
         let e = r.energy_normalized_to(baseline);

@@ -10,12 +10,7 @@ use std::time::Duration;
 use thrifty_barrier::core::{AlgorithmConfig, BarrierPc};
 use thrifty_barrier::runtime::{RuntimeSleepLevels, ThriftyRuntimeBarrier};
 
-fn run(
-    label: &str,
-    threads: usize,
-    iterations: usize,
-    cfg: AlgorithmConfig,
-) -> (Duration, f64) {
+fn run(label: &str, threads: usize, iterations: usize, cfg: AlgorithmConfig) -> (Duration, f64) {
     let barrier = Arc::new(ThriftyRuntimeBarrier::with_config(threads, cfg));
     let pc = BarrierPc::new(0x4000);
     let started = std::time::Instant::now();

@@ -19,6 +19,7 @@
 //! | [`workloads`] | `tb-workloads` | calibrated SPLASH-2-like barrier workloads |
 //! | [`runtime`] | `tb-runtime` | the real-threads thrifty barrier |
 //! | [`msg`] | `tb-msg` | the thrifty barrier on a message-passing cluster |
+//! | [`trace`] | `tb-trace` | per-episode event tracing: ring-buffer capture, Perfetto/JSONL export, accuracy analysis |
 //! | [`sim`] | `tb-sim` | discrete-event kernel, statistics, deterministic RNG |
 //!
 //! # Quick start
@@ -46,4 +47,5 @@ pub use tb_mem as mem;
 pub use tb_msg as msg;
 pub use tb_runtime as runtime;
 pub use tb_sim as sim;
+pub use tb_trace as trace;
 pub use tb_workloads as workloads;

@@ -2,23 +2,31 @@
 //!
 //! ```text
 //! thrifty-barrier list
-//! thrifty-barrier run <app> [--nodes N] [--seed S] [--config NAME]
-//! thrifty-barrier sweep [--nodes N] [--seed S]
+//! thrifty-barrier run <app> [--nodes N] [--seed S] [--config NAME] [--json]
+//! thrifty-barrier sweep [--nodes N] [--seed S] [--json]
 //! thrifty-barrier cutoff [--nodes N] [--seed S]
+//! thrifty-barrier trace <app> --out FILE [--format perfetto|jsonl] [--config NAME]
 //! ```
 //!
 //! The full table/figure reproduction lives in the bench targets
 //! (`cargo bench`); this binary is the interactive entry point.
 
 use thrifty_barrier::core::SystemConfig;
-use thrifty_barrier::machine::run::{run_config_matrix, run_trace, run_trace_with, PAPER_SEED};
+use thrifty_barrier::machine::run::{
+    run_config_matrix, run_trace, run_trace_recording, run_trace_with, PAPER_SEED,
+};
 use thrifty_barrier::machine::RunReport;
+use thrifty_barrier::trace::PredictionAccuracyReport;
 use thrifty_barrier::workloads::AppSpec;
 
 struct Options {
     nodes: u16,
     seed: u64,
     config: Option<String>,
+    json: bool,
+    out: Option<String>,
+    format: String,
+    ring: usize,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -26,6 +34,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         nodes: 64,
         seed: PAPER_SEED,
         config: None,
+        json: false,
+        out: None,
+        format: "perfetto".to_string(),
+        ring: 1 << 16,
     };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -47,10 +59,35 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--config" => {
                 opts.config = Some(it.next().ok_or("--config needs a value")?.clone());
             }
+            "--json" => opts.json = true,
+            "--out" => {
+                opts.out = Some(it.next().ok_or("--out needs a value")?.clone());
+            }
+            "--format" => {
+                let v = it.next().ok_or("--format needs a value")?;
+                if v != "perfetto" && v != "jsonl" {
+                    return Err(format!("--format must be perfetto or jsonl, got {v:?}"));
+                }
+                opts.format = v.clone();
+            }
+            "--ring" => {
+                let v = it.next().ok_or("--ring needs a value")?;
+                opts.ring = v.parse().map_err(|_| format!("bad ring capacity {v:?}"))?;
+                if opts.ring == 0 {
+                    return Err("ring capacity must be positive".to_string());
+                }
+            }
             other => return Err(format!("unknown option {other:?}")),
         }
     }
     Ok(opts)
+}
+
+fn app_by_name(name: &str) -> Result<AppSpec, String> {
+    AppSpec::splash2()
+        .into_iter()
+        .find(|a| a.name.eq_ignore_ascii_case(name))
+        .ok_or_else(|| format!("unknown application {name:?} (try `list`)"))
 }
 
 fn config_by_name(name: &str) -> Option<SystemConfig> {
@@ -84,7 +121,10 @@ fn print_report(r: &RunReport, base: Option<&RunReport>) {
 }
 
 fn cmd_list() {
-    println!("{:<11} {:<36} {:>10} {:>8}", "app", "problem size", "imbalance", "target");
+    println!(
+        "{:<11} {:<36} {:>10} {:>8}",
+        "app", "problem size", "imbalance", "target"
+    );
     for app in AppSpec::splash2() {
         println!(
             "{:<11} {:<36} {:>9.2}% {:>8}",
@@ -97,12 +137,12 @@ fn cmd_list() {
 }
 
 fn cmd_run(app_name: &str, opts: &Options) -> Result<(), String> {
-    let app = AppSpec::by_name(app_name)
-        .ok_or_else(|| format!("unknown application {app_name:?} (try `list`)"))?;
+    let app = app_by_name(app_name)?;
     match &opts.config {
         Some(name) => {
-            let sys = config_by_name(name)
-                .ok_or_else(|| format!("unknown config {name:?} (Baseline/Thrifty-Halt/Oracle-Halt/Thrifty/Ideal)"))?;
+            let sys = config_by_name(name).ok_or_else(|| {
+                format!("unknown config {name:?} (Baseline/Thrifty-Halt/Oracle-Halt/Thrifty/Ideal)")
+            })?;
             let trace = app.generate(opts.nodes as usize, opts.seed);
             let base = run_trace(&trace, opts.nodes, SystemConfig::Baseline);
             let r = if sys == SystemConfig::Baseline {
@@ -110,13 +150,21 @@ fn cmd_run(app_name: &str, opts: &Options) -> Result<(), String> {
             } else {
                 run_trace(&trace, opts.nodes, sys)
             };
-            print_report(&r, Some(&base));
+            if opts.json {
+                println!("{}", serde::json::to_string(&r));
+            } else {
+                print_report(&r, Some(&base));
+            }
         }
         None => {
             let reports = run_config_matrix(&app, opts.nodes, opts.seed);
-            let base = reports[0].clone();
-            for r in &reports {
-                print_report(r, Some(&base));
+            if opts.json {
+                println!("{}", serde::json::to_string(&reports));
+            } else {
+                let base = reports[0].clone();
+                for r in &reports {
+                    print_report(r, Some(&base));
+                }
             }
         }
     }
@@ -124,6 +172,14 @@ fn cmd_run(app_name: &str, opts: &Options) -> Result<(), String> {
 }
 
 fn cmd_sweep(opts: &Options) {
+    if opts.json {
+        let mut all: Vec<RunReport> = Vec::new();
+        for app in AppSpec::splash2() {
+            all.extend(run_config_matrix(&app, opts.nodes, opts.seed));
+        }
+        println!("{}", serde::json::to_string(&all));
+        return;
+    }
     println!(
         "{:<11} {:>9} | {:>8} {:>8} {:>8} {:>8} | {:>8}",
         "app", "imbal", "E:Halt", "E:Orac", "E:Thr", "E:Ideal", "slowdn"
@@ -165,6 +221,43 @@ fn cmd_cutoff(opts: &Options) {
     }
 }
 
+fn cmd_trace(app_name: &str, opts: &Options) -> Result<(), String> {
+    let app = app_by_name(app_name)?;
+    let out = opts
+        .out
+        .as_deref()
+        .ok_or("trace needs --out FILE (the export destination)")?;
+    let sys = match &opts.config {
+        Some(name) => config_by_name(name).ok_or_else(|| {
+            format!("unknown config {name:?} (Baseline/Thrifty-Halt/Oracle-Halt/Thrifty/Ideal)")
+        })?,
+        None => SystemConfig::Thrifty,
+    };
+    let app_trace = app.generate(opts.nodes as usize, opts.seed);
+    let traced = run_trace_recording(&app_trace, opts.nodes, sys, opts.ring);
+    let body = match opts.format.as_str() {
+        "jsonl" => thrifty_barrier::trace::to_jsonl(&traced.events),
+        _ => {
+            let name = format!("{} / {} / {} nodes", app.name, sys.name(), opts.nodes);
+            thrifty_barrier::trace::to_perfetto(&traced.events, &name)
+        }
+    };
+    std::fs::write(out, &body).map_err(|e| format!("writing {out:?}: {e}"))?;
+
+    let summary = traced.report.trace.as_ref().expect("recording run");
+    println!(
+        "wrote {} ({}: {} events, {} dropped)",
+        out, opts.format, summary.events, summary.dropped
+    );
+    let wl = &summary.wake_latency;
+    println!(
+        "wake-up latency over {} sleeper departures: p50 {:.0} p95 {:.0} p99 {:.0} max {} cycles",
+        wl.samples, wl.p50, wl.p95, wl.p99, wl.max
+    );
+    print!("{}", PredictionAccuracyReport::from_events(&traced.events));
+    Ok(())
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: thrifty-barrier <command> [options]\n\
@@ -172,8 +265,10 @@ fn usage() -> ! {
          list                      the ten Table 2 applications\n  \
          run <app> [--config C]    run one app (all five configs by default)\n  \
          sweep                     all apps x all configs (Figures 5/6 data)\n  \
-         cutoff                    the Ocean overprediction cut-off story\n\
-         options: --nodes N (power of two <= 64), --seed S"
+         cutoff                    the Ocean overprediction cut-off story\n  \
+         trace <app> --out FILE    record per-episode events to a trace file\n\
+         options: --nodes N (power of two <= 64), --seed S, --json,\n\
+         \x20        --format perfetto|jsonl, --ring EVENTS_PER_THREAD, --config C"
     );
     std::process::exit(2);
 }
@@ -195,6 +290,13 @@ fn main() {
         }
         "sweep" => parse_options(&args[1..]).map(|o| cmd_sweep(&o)),
         "cutoff" => parse_options(&args[1..]).map(|o| cmd_cutoff(&o)),
+        "trace" => {
+            let Some(app) = args.get(1) else { usage() };
+            match parse_options(&args[2..]) {
+                Ok(opts) => cmd_trace(app, &opts),
+                Err(e) => Err(e),
+            }
+        }
         _ => {
             usage();
         }

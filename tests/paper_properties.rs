@@ -112,7 +112,10 @@ fn fft_and_cholesky_behave_exactly_like_baseline() {
                 (r.total_energy() / base.total_energy() - 1.0).abs() < 0.001,
                 "{name}: energy must match baseline"
             );
-            assert_eq!(r.wall_time, base.wall_time, "{name}: time must match baseline");
+            assert_eq!(
+                r.wall_time, base.wall_time,
+                "{name}: time must match baseline"
+            );
         }
     }
 }
@@ -155,7 +158,10 @@ fn ocean_needs_the_cutoff() {
         AlgorithmConfig::thrifty().with_overprediction_threshold(None),
         None,
     );
-    assert!(with.counts.cutoff_disables > 0, "the cut-off engages on Ocean");
+    assert!(
+        with.counts.cutoff_disables > 0,
+        "the cut-off engages on Ocean"
+    );
     assert_eq!(without.counts.cutoff_disables, 0);
     assert!(
         without.slowdown_vs(&base) > 2.0 * with.slowdown_vs(&base),

@@ -69,10 +69,7 @@ fn savings_agree_across_substrates() {
         assert!(slowdown < 0.02, "{label}: slowdown {slowdown}");
         ratios.push(ratio);
     }
-    let spread = ratios
-        .iter()
-        .cloned()
-        .fold(f64::NEG_INFINITY, f64::max)
+    let spread = ratios.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
         - ratios.iter().cloned().fold(f64::INFINITY, f64::min);
     assert!(
         spread < 0.03,
