@@ -1,0 +1,315 @@
+//! Minimal, offline-friendly stand-in for the `criterion` crate.
+//!
+//! Provides the measurement surface the workspace's benches use
+//! (`bench_function`, `benchmark_group`, `Bencher::iter`/`iter_batched`,
+//! `black_box`, `criterion_group!`/`criterion_main!`) with a simple but
+//! honest methodology: adaptive calibration to a target measurement time,
+//! multiple samples, and a median-of-samples report printed to stdout.
+//! No plotting, no statistics beyond median/min/max, no saved baselines.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmarked
+/// computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost; the stub runs one setup per
+/// routine invocation regardless, so the variants only document intent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: many per batch in real criterion.
+    SmallInput,
+    /// Large inputs: few per batch in real criterion.
+    LargeInput,
+    /// Exactly one input per batch.
+    PerIteration,
+}
+
+/// Per-benchmark measurement driver handed to the closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    target: Duration,
+    sample_count: usize,
+}
+
+impl Bencher {
+    fn new(target: Duration, sample_count: usize) -> Self {
+        Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 0,
+            target,
+            sample_count,
+        }
+    }
+
+    /// Benchmarks `routine` by calling it repeatedly.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibrate: grow the per-sample iteration count until one sample
+        // takes at least target/sample_count.
+        let per_sample = self.target / self.sample_count as u32;
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= per_sample || iters >= 1 << 30 {
+                break;
+            }
+            iters = if elapsed.is_zero() {
+                iters * 16
+            } else {
+                // Aim directly for the per-sample budget, with headroom.
+                let scale = per_sample.as_nanos() as f64 / elapsed.as_nanos() as f64;
+                (iters as f64 * scale.clamp(1.5, 16.0)).ceil() as u64
+            };
+        }
+        self.iters_per_sample = iters;
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Benchmarks `routine` over fresh inputs produced by `setup`; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let per_sample = self.target / self.sample_count as u32;
+        let mut iters: u64 = 1;
+        loop {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= per_sample || iters >= 1 << 24 {
+                break;
+            }
+            iters = if elapsed.is_zero() {
+                iters * 16
+            } else {
+                let scale = per_sample.as_nanos() as f64 / elapsed.as_nanos() as f64;
+                (iters as f64 * scale.clamp(1.5, 16.0)).ceil() as u64
+            };
+        }
+        self.iters_per_sample = iters;
+        for _ in 0..self.sample_count {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() || self.iters_per_sample == 0 {
+            println!("{id:<40} (no samples)");
+            return;
+        }
+        let mut per_iter: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|d| d.as_nanos() as f64 / self.iters_per_sample as f64)
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let min = per_iter[0];
+        let median = per_iter[per_iter.len() / 2];
+        let max = per_iter[per_iter.len() - 1];
+        println!(
+            "{id:<40} time: [{} {} {}]",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(max)
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    measurement_time: Duration,
+    sample_count: usize,
+    filter: Option<String>,
+    list_only: bool,
+    run: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut list_only = false;
+        let mut run = true;
+        // Accept the argument shapes cargo passes to bench binaries
+        // (`--bench`, `--test`, a positional filter, and flags we ignore).
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--bench" | "--quick" | "--noplot" | "--quiet" | "--verbose" | "--exact"
+                | "--nocapture" => {}
+                "--test" => run = false,
+                "--list" => list_only = true,
+                "--save-baseline" | "--baseline" | "--measurement-time" | "--sample-size"
+                | "--warm-up-time" | "--profile-time" => {
+                    args.next();
+                }
+                s if s.starts_with("--") => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Criterion {
+            measurement_time: Duration::from_millis(400),
+            sample_count: 11,
+            filter,
+            list_only,
+            run,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_count = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        if self.list_only {
+            println!("{id}: benchmark");
+            return self;
+        }
+        if !self.run {
+            return self;
+        }
+        let mut b = Bencher::new(self.measurement_time, self.sample_count);
+        f(&mut b);
+        b.report(id);
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named set of related benchmarks; ids are prefixed with the group name.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.parent.bench_function(&full, f);
+        self
+    }
+
+    /// Ends the group (drop would do the same; provided for API parity).
+    pub fn finish(self) {}
+}
+
+/// Declares a group function that runs each listed benchmark with a fresh
+/// default [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` invoking the listed group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::new(Duration::from_millis(20), 3);
+        let mut acc = 0u64;
+        b.iter(|| {
+            acc = acc.wrapping_add(black_box(1));
+            acc
+        });
+        assert_eq!(b.samples.len(), 3);
+        assert!(b.iters_per_sample >= 1);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher::new(Duration::from_millis(10), 2);
+        b.iter_batched(
+            || vec![1u64; 16],
+            |v| v.iter().sum::<u64>(),
+            BatchSize::SmallInput,
+        );
+        assert_eq!(b.samples.len(), 2);
+    }
+
+    #[test]
+    fn format_scales() {
+        assert!(fmt_ns(12.3).ends_with("ns"));
+        assert!(fmt_ns(12_300.0).ends_with("µs"));
+        assert!(fmt_ns(12_300_000.0).ends_with("ms"));
+    }
+}

@@ -1,0 +1,199 @@
+//! Minimal, offline-friendly stand-in for the `parking_lot` crate.
+//!
+//! Wraps `std::sync` primitives behind parking_lot's panic-free API: locks
+//! return guards directly (poisoning is swallowed — if a thread panicked
+//! while holding the lock we keep going, matching parking_lot semantics),
+//! and `Condvar::wait`/`wait_for` take `&mut MutexGuard` instead of
+//! consuming the guard.
+
+use std::sync::{self, TryLockError};
+use std::time::Duration;
+
+/// A mutex that hands out guards without a poison `Result`.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex(sync::Mutex::new(value))
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, blocking until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard(self.0.lock().unwrap_or_else(|e| e.into_inner()))
+    }
+
+    /// Attempts to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(MutexGuard(g)),
+            Err(TryLockError::Poisoned(e)) => Some(MutexGuard(e.into_inner())),
+            Err(TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Returns a mutable reference to the data without locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// RAII guard for [`Mutex`].
+#[derive(Debug)]
+pub struct MutexGuard<'a, T: ?Sized>(sync::MutexGuard<'a, T>);
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+/// Result of a timed wait on a [`Condvar`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// A condition variable whose wait methods re-lend the guard instead of
+/// consuming it.
+#[derive(Debug, Default)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar(sync::Condvar::new())
+    }
+
+    /// Blocks until notified, atomically releasing the guarded mutex.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        self.relend(guard, |inner| match self.0.wait(inner) {
+            Ok(g) => (g, false),
+            Err(e) => (e.into_inner(), false),
+        });
+    }
+
+    /// Blocks until notified or `timeout` elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        WaitTimeoutResult(
+            self.relend(guard, |inner| match self.0.wait_timeout(inner, timeout) {
+                Ok((g, r)) => (g, r.timed_out()),
+                Err(e) => {
+                    let (g, r) = e.into_inner();
+                    (g, r.timed_out())
+                }
+            }),
+        )
+    }
+
+    /// Wakes one waiting thread.
+    pub fn notify_one(&self) -> bool {
+        self.0.notify_one();
+        true
+    }
+
+    /// Wakes all waiting threads.
+    pub fn notify_all(&self) -> usize {
+        self.0.notify_all();
+        0
+    }
+
+    /// Adapts std's guard-consuming waits to parking_lot's `&mut` guard API:
+    /// the std guard is moved out of `guard` for the duration of the wait
+    /// and the reacquired guard is written back in place. The closure only
+    /// returns normally (std condvar waits don't panic), so no intermediate
+    /// state escapes.
+    fn relend<'a, T, R>(
+        &self,
+        guard: &mut MutexGuard<'a, T>,
+        f: impl FnOnce(sync::MutexGuard<'a, T>) -> (sync::MutexGuard<'a, T>, R),
+    ) -> R {
+        unsafe {
+            let inner = std::ptr::read(&guard.0);
+            let (reacquired, result) = f(inner);
+            std::ptr::write(&mut guard.0, reacquired);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    #[test]
+    fn mutex_basics() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert!(m.try_lock().is_some());
+        let held = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(held);
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn wait_for_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let start = Instant::now();
+        let r = cv.wait_for(&mut g, Duration::from_millis(10));
+        assert!(r.timed_out());
+        assert!(start.elapsed() >= Duration::from_millis(5));
+        // The guard is still valid and the mutex still held.
+        drop(g);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn notify_wakes_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let ready = Arc::new(AtomicBool::new(false));
+        let (pair2, ready2) = (Arc::clone(&pair), Arc::clone(&ready));
+        let waiter = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            let mut g = m.lock();
+            ready2.store(true, Ordering::SeqCst);
+            while !*g {
+                let r = cv.wait_for(&mut g, Duration::from_secs(5));
+                assert!(!r.timed_out(), "should be woken, not timed out");
+            }
+        });
+        while !ready.load(Ordering::SeqCst) {
+            std::thread::yield_now();
+        }
+        let (m, cv) = &*pair;
+        *m.lock() = true;
+        cv.notify_all();
+        waiter.join().unwrap();
+    }
+}

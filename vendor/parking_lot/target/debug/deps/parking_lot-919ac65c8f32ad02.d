@@ -1,0 +1,7 @@
+/root/repo/vendor/parking_lot/target/debug/deps/parking_lot-919ac65c8f32ad02.d: src/lib.rs
+
+/root/repo/vendor/parking_lot/target/debug/deps/libparking_lot-919ac65c8f32ad02.rlib: src/lib.rs
+
+/root/repo/vendor/parking_lot/target/debug/deps/libparking_lot-919ac65c8f32ad02.rmeta: src/lib.rs
+
+src/lib.rs:

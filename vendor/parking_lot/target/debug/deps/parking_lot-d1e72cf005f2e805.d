@@ -1,0 +1,5 @@
+/root/repo/vendor/parking_lot/target/debug/deps/parking_lot-d1e72cf005f2e805.d: src/lib.rs
+
+/root/repo/vendor/parking_lot/target/debug/deps/parking_lot-d1e72cf005f2e805: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,258 @@
+//! Minimal, offline-friendly stand-in for the `rand` crate.
+//!
+//! Provides the subset this workspace uses: [`RngCore`], [`SeedableRng`],
+//! [`Rng::gen_range`] over half-open integer ranges, and
+//! [`rngs::SmallRng`] — implemented, like the real rand 0.8 on 64-bit
+//! platforms, as xoshiro256++ seeded through SplitMix64. Statistical quality
+//! matters here: the workspace's deterministic-simulation RNG derives from
+//! `SmallRng` and its tests check moments and uniformity.
+
+/// Low-level uniform bit generation.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+/// Construction of generators from seeds.
+pub trait SeedableRng: Sized {
+    /// The raw seed type.
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Builds a generator from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds a generator from a `u64` seed by expanding it with SplitMix64.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let out = splitmix64(&mut state);
+            let bytes = out.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Types that can be sampled uniformly from a half-open range.
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Draws a uniform sample from `[low, high)`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! sample_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                let span = (high as u64).wrapping_sub(low as u64);
+                low.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+sample_uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! sample_uniform_int {
+    ($($t:ty as $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                let span = (high as $u).wrapping_sub(low as $u) as u64;
+                low.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+sample_uniform_int!(i8 as u8, i16 as u16, i32 as u32, i64 as u64, isize as usize);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let v = low + unit * (high - low);
+        if v < high {
+            v
+        } else {
+            // Guard against rounding up to the excluded endpoint.
+            f64::from_bits(high.to_bits() - 1)
+        }
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        f64::sample_range(rng, low as f64, high as f64) as f32
+    }
+}
+
+/// Draws uniformly from `[0, span)` (`span == 0` means the full u64 range)
+/// using Lemire's widening-multiply method with rejection, so there is no
+/// modulo bias.
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    if span == 0 {
+        return rng.next_u64();
+    }
+    let threshold = span.wrapping_neg() % span;
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (span as u128);
+        if (m as u64) >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+/// High-level convenience methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a uniform sample from the half-open range `low..high`.
+    ///
+    /// Panics if the range is empty, matching rand's behavior.
+    fn gen_range<T: SampleUniform>(&mut self, range: core::ops::Range<T>) -> T {
+        assert!(range.start < range.end, "gen_range called with empty range");
+        T::sample_range(self, range.start, range.end)
+    }
+
+    /// Returns a uniformly random `bool`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::sample_range(self, 0.0, 1.0) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Deterministic non-cryptographic generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++, the algorithm behind rand 0.8's 64-bit `SmallRng`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+            }
+            if s == [0; 4] {
+                // The all-zero state is a fixed point of xoshiro; nudge it.
+                s = [
+                    0x9e3779b97f4a7c15,
+                    0x6a09e667f3bcc909,
+                    0xbb67ae8584caa73b,
+                    1,
+                ];
+            }
+            SmallRng { s }
+        }
+    }
+
+    /// Alias used when callers ask for the "standard" generator; same engine.
+    pub type StdRng = SmallRng;
+}
+
+/// Commonly imported items.
+pub mod prelude {
+    pub use super::rngs::{SmallRng, StdRng};
+    pub use super::{Rng, RngCore, SampleUniform, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        let same = (0..64).filter(|_| a.next_u64() == c.next_u64()).count();
+        assert!(same < 4, "different seeds should diverge");
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_covers() {
+        let mut r = SmallRng::seed_from_u64(7);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = r.gen_range(0u64..10);
+            assert!(v < 10);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+        for _ in 0..1000 {
+            let v = r.gen_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+            let f = r.gen_range(2.0f64..3.0);
+            assert!((2.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn mean_is_roughly_centered() {
+        let mut r = SmallRng::seed_from_u64(11);
+        let n = 20_000;
+        let mean = (0..n).map(|_| r.gen_range(0.0f64..1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} too far from 0.5");
+    }
+
+    #[test]
+    fn fill_bytes_fills_every_byte_eventually() {
+        let mut r = SmallRng::seed_from_u64(3);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        // 13 zero bytes from a uniform source is a ~1e-31 event.
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

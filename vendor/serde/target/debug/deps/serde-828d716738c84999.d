@@ -1,0 +1,7 @@
+/root/repo/vendor/serde/target/debug/deps/serde-828d716738c84999.d: src/lib.rs
+
+/root/repo/vendor/serde/target/debug/deps/libserde-828d716738c84999.rlib: src/lib.rs
+
+/root/repo/vendor/serde/target/debug/deps/libserde-828d716738c84999.rmeta: src/lib.rs
+
+src/lib.rs:

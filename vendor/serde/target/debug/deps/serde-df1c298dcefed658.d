@@ -1,0 +1,5 @@
+/root/repo/vendor/serde/target/debug/deps/serde-df1c298dcefed658.d: src/lib.rs
+
+/root/repo/vendor/serde/target/debug/deps/serde-df1c298dcefed658: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,446 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored value-tree serde.
+//!
+//! Implemented directly on `proc_macro::TokenTree` (no `syn`/`quote`, which
+//! are unavailable offline). Supports the shapes this workspace uses:
+//! non-generic structs (named, tuple/newtype, unit) and enums (unit, tuple,
+//! and struct variants), with no `#[serde(...)]` attributes. Newtype structs
+//! serialize transparently; enum variants follow serde_json conventions
+//! (`"Unit"` / `{"Variant": ...}`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write;
+
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => gen_struct_serialize(name, fields),
+        Item::Enum { name, variants } => gen_enum_serialize(name, variants),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item {
+        Item::Struct { name, fields } => gen_struct_deserialize(name, fields),
+        Item::Enum { name, variants } => gen_enum_deserialize(name, variants),
+    };
+    code.parse().expect("serde_derive generated invalid Rust")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Skips `#[...]` attribute groups (including expanded doc comments).
+    fn skip_attrs(&mut self) {
+        loop {
+            match self.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                            self.pos += 1;
+                        }
+                        _ => panic!("serde_derive: malformed attribute"),
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    /// Skips `pub`, `pub(crate)`, `pub(in ...)`.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected {what}, found {other:?}"),
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.skip_attrs();
+    c.skip_visibility();
+    let kind = c.expect_ident("`struct` or `enum`");
+    let name = c.expect_ident("type name");
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive: generic types are not supported by the vendored serde");
+        }
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("serde_derive: malformed struct body: {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde_derive: malformed enum body: {other:?}"),
+            };
+            Item::Enum {
+                name,
+                variants: parse_variants(body),
+            }
+        }
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    loop {
+        c.skip_attrs();
+        if c.peek().is_none() {
+            break;
+        }
+        c.skip_visibility();
+        fields.push(c.expect_ident("field name"));
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected `:` after field, found {other:?}"),
+        }
+        // Skip the type: consume until a comma outside of `<...>` nesting.
+        // Parens/brackets/braces arrive as single Group tokens, so only angle
+        // brackets need explicit depth tracking.
+        let mut angle_depth = 0usize;
+        while let Some(t) = c.peek() {
+            match t {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    angle_depth = angle_depth.saturating_sub(1)
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    c.pos += 1;
+                    break;
+                }
+                _ => {}
+            }
+            c.pos += 1;
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut saw_tokens = false;
+    let mut angle_depth = 0usize;
+    for t in stream {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1)
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                count += 1;
+                saw_tokens = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens = true;
+    }
+    if saw_tokens {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attrs();
+        if c.peek().is_none() {
+            break;
+        }
+        let name = c.expect_ident("variant name");
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream()));
+                c.pos += 1;
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                c.pos += 1;
+                f
+            }
+            _ => Fields::Unit,
+        };
+        match c.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => c.pos += 1,
+            None => {}
+            other => panic!("serde_derive: expected `,` between variants, found {other:?}"),
+        }
+        variants.push((name, fields));
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_struct_serialize(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => "::serde::Value::Null".to_string(),
+        Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Fields::Named(names) => map_literal(names.iter().map(|f| {
+            (
+                f.clone(),
+                format!("::serde::Serialize::to_value(&self.{f})"),
+            )
+        })),
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         \tfn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_struct_deserialize(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => format!("::std::result::Result::Ok({name})"),
+        Fields::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::de_elem(__items, {i})?"))
+                .collect();
+            format!(
+                "match v {{\n\
+                 \t::serde::Value::Seq(__items) => ::std::result::Result::Ok({name}({fields})),\n\
+                 \t__other => ::std::result::Result::Err(::serde::Error::msg(\
+                 ::std::format!(\"{name}: expected sequence, got {{__other:?}}\"))),\n\
+                 }}",
+                fields = items.join(", ")
+            )
+        }
+        Fields::Named(names) => {
+            let items: Vec<String> = names
+                .iter()
+                .map(|f| format!("{f}: ::serde::de_field(v, \"{f}\")?"))
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                items.join(", ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         \tfn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         \t\t{body}\n\
+         \t}}\n\
+         }}"
+    )
+}
+
+fn gen_enum_serialize(name: &str, variants: &[(String, Fields)]) -> String {
+    let mut arms = String::new();
+    for (vname, fields) in variants {
+        match fields {
+            Fields::Unit => {
+                let _ = writeln!(
+                    arms,
+                    "{name}::{vname} => ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                );
+            }
+            Fields::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let payload = if *n == 1 {
+                    "::serde::Serialize::to_value(__f0)".to_string()
+                } else {
+                    let items: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+                };
+                let _ = writeln!(
+                    arms,
+                    "{name}::{vname}({binds}) => {map},",
+                    binds = binds.join(", "),
+                    map = map_literal([(vname.clone(), payload)]),
+                );
+            }
+            Fields::Named(fnames) => {
+                let payload = map_literal(
+                    fnames
+                        .iter()
+                        .map(|f| (f.clone(), format!("::serde::Serialize::to_value({f})"))),
+                );
+                let _ = writeln!(
+                    arms,
+                    "{name}::{vname} {{ {fields} }} => {map},",
+                    fields = fnames.join(", "),
+                    map = map_literal([(vname.clone(), payload)]),
+                );
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         \tfn to_value(&self) -> ::serde::Value {{\n\
+         \t\tmatch self {{\n{arms}\t\t}}\n\
+         \t}}\n\
+         }}"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[(String, Fields)]) -> String {
+    let mut unit_arms = String::new();
+    let mut data_arms = String::new();
+    for (vname, fields) in variants {
+        match fields {
+            Fields::Unit => {
+                let _ = writeln!(
+                    unit_arms,
+                    "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),"
+                );
+            }
+            Fields::Tuple(1) => {
+                let _ = writeln!(
+                    data_arms,
+                    "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                     ::serde::Deserialize::from_value(__inner)?)),"
+                );
+            }
+            Fields::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::de_elem(__items, {i})?"))
+                    .collect();
+                let _ = writeln!(
+                    data_arms,
+                    "\"{vname}\" => match __inner {{\n\
+                     \t::serde::Value::Seq(__items) => ::std::result::Result::Ok({name}::{vname}({fields})),\n\
+                     \t__other => ::std::result::Result::Err(::serde::Error::msg(\
+                     ::std::format!(\"{name}::{vname}: expected sequence, got {{__other:?}}\"))),\n\
+                     }},",
+                    fields = items.join(", ")
+                );
+            }
+            Fields::Named(fnames) => {
+                let items: Vec<String> = fnames
+                    .iter()
+                    .map(|f| format!("{f}: ::serde::de_field(__inner, \"{f}\")?"))
+                    .collect();
+                let _ = writeln!(
+                    data_arms,
+                    "\"{vname}\" => ::std::result::Result::Ok({name}::{vname} {{ {} }}),",
+                    items.join(", ")
+                );
+            }
+        }
+    }
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         \tfn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         \t\tmatch v {{\n\
+         \t\t\t::serde::Value::Str(__s) => match __s.as_str() {{\n\
+         {unit_arms}\
+         \t\t\t\t__other => ::std::result::Result::Err(::serde::Error::msg(\
+         ::std::format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+         \t\t\t}},\n\
+         \t\t\t::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+         \t\t\t\tlet (__k, __inner) = &__entries[0];\n\
+         \t\t\t\tmatch __k.as_str() {{\n\
+         {data_arms}\
+         \t\t\t\t\t__other => ::std::result::Result::Err(::serde::Error::msg(\
+         ::std::format!(\"unknown {name} variant `{{__other}}`\"))),\n\
+         \t\t\t\t}}\n\
+         \t\t\t}}\n\
+         \t\t\t__other => ::std::result::Result::Err(::serde::Error::msg(\
+         ::std::format!(\"{name}: expected variant, got {{__other:?}}\"))),\n\
+         \t\t}}\n\
+         \t}}\n\
+         }}"
+    )
+}
+
+fn map_literal(entries: impl IntoIterator<Item = (String, String)>) -> String {
+    let items: Vec<String> = entries
+        .into_iter()
+        .map(|(k, v)| format!("(::std::string::String::from(\"{k}\"), {v})"))
+        .collect();
+    format!("::serde::Value::Map(::std::vec![{}])", items.join(", "))
+}
