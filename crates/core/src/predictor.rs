@@ -136,6 +136,12 @@ impl LastValuePredictor {
         LastValuePredictor::new(threads, Some(8.0))
     }
 
+    /// The site's current table entry, ignoring the per-thread disable
+    /// bits (which gate *prediction*, not the table's existence).
+    pub fn last_bit(&self, pc: BarrierPc) -> Option<Cycles> {
+        self.entries.get(&pc).and_then(|e| e.last_bit)
+    }
+
     fn entry_mut(&mut self, pc: BarrierPc) -> &mut SiteEntry {
         let threads = self.threads;
         self.entries.entry(pc).or_insert_with(|| SiteEntry {
@@ -343,10 +349,11 @@ impl BitPredictor for ConfidencePredictor {
     }
 
     fn update(&mut self, pc: BarrierPc, instance: u64, measured: Cycles) -> UpdateOutcome {
-        let prev = self
-            .inner
-            .predict(pc, instance, ThreadId::new(0))
-            .filter(|p| *p > Cycles::ZERO);
+        // Compare against the site's raw table entry, not a thread-filtered
+        // prediction: going through `predict` with an arbitrary thread
+        // would return `None` forever once that thread's disable bit is
+        // set, permanently resetting confidence to 1 for *every* thread.
+        let prev = self.inner.last_bit(pc).filter(|p| *p > Cycles::ZERO);
         let outcome = self.inner.update(pc, instance, measured);
         let slot = self.confidence.entry(pc).or_insert(0);
         match prev {
@@ -610,6 +617,40 @@ mod tests {
         assert!(p.is_disabled(PC, t(1)));
         assert_eq!(p.predict(PC, 3, t(1)), None);
         assert!(p.predict(PC, 3, t(0)).is_some());
+    }
+
+    #[test]
+    fn confidence_survives_thread0_disable() {
+        // Regression: `update` used to probe history through
+        // `predict(pc, _, ThreadId::new(0))`, so setting thread 0's disable
+        // bit made `prev` permanently `None`, pinning confidence at 1 and
+        // silently disabling prediction for every thread at the site.
+        let mut p = ConfidencePredictor::new(4, 0.10);
+        p.update(PC, 0, Cycles::from_micros(100));
+        p.disable(PC, t(0));
+        p.update(PC, 1, Cycles::from_micros(102));
+        p.update(PC, 2, Cycles::from_micros(101));
+        assert!(
+            p.confidence(PC) >= 2,
+            "stable history must build confidence even with thread 0 disabled (got {})",
+            p.confidence(PC)
+        );
+        assert_eq!(p.predict(PC, 3, t(0)), None, "thread 0 stays disabled");
+        assert_eq!(
+            p.predict(PC, 3, t(1)),
+            Some(Cycles::from_micros(101)),
+            "other threads keep predicting"
+        );
+    }
+
+    #[test]
+    fn last_bit_ignores_disable_bits() {
+        let mut p = LastValuePredictor::with_defaults(2);
+        assert_eq!(p.last_bit(PC), None);
+        p.update(PC, 0, Cycles::from_micros(100));
+        p.disable(PC, t(0));
+        p.disable(PC, t(1));
+        assert_eq!(p.last_bit(PC), Some(Cycles::from_micros(100)));
     }
 
     #[test]

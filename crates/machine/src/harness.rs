@@ -1,0 +1,371 @@
+//! Parallel experiment harness with shared trace/oracle caching.
+//!
+//! The paper's evaluation is a matrix: applications × configurations
+//! (× seeds, once replication enters the picture). Every cell is an
+//! independent deterministic simulation, which makes the matrix
+//! embarrassingly parallel — *except* that cells share expensive inputs:
+//!
+//! * the generated [`AppTrace`] is identical for every configuration of one
+//!   (app, nodes, seed) triple, and
+//! * the Oracle-Halt and Ideal configurations both need the Baseline run of
+//!   that same triple to build their [`RecordedBitOracle`] (and the
+//!   Baseline cell itself *is* that run).
+//!
+//! [`Harness`] therefore fans cells out across a scoped worker pool while
+//! interning both inputs in content-keyed caches: each (app, nodes, seed)
+//! generates its trace once and simulates Baseline exactly once, no matter
+//! how many configurations, workers, or calls consume it. Results come
+//! back in the caller's cell order (workers fill indexed slots, so
+//! completion order never shows), which keeps parallel output byte-for-byte
+//! identical to a serial run.
+
+use crate::report::{AggregateReport, RunReport};
+use crate::run::oracle_from_baseline;
+use crate::sim::{simulate, SimulatorConfig};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use tb_core::{RecordedBitOracle, SystemConfig};
+use tb_workloads::{AppSpec, AppTrace};
+
+/// One cell of the experiment matrix.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// The application to simulate.
+    pub app: AppSpec,
+    /// Machine size (power of two in `2..=64`).
+    pub nodes: u16,
+    /// Workload seed.
+    pub seed: u64,
+    /// The barrier system configuration.
+    pub config: SystemConfig,
+}
+
+impl Cell {
+    /// Creates a cell.
+    pub fn new(app: AppSpec, nodes: u16, seed: u64, config: SystemConfig) -> Self {
+        Cell {
+            app,
+            nodes,
+            seed,
+            config,
+        }
+    }
+}
+
+/// The Baseline run of one (app, nodes, seed) triple together with the
+/// oracle table derived from it — the shared input of the Baseline,
+/// Oracle-Halt, and Ideal cells.
+#[derive(Debug)]
+pub struct BaselineBundle {
+    /// The Baseline run report.
+    pub report: RunReport,
+    /// Perfect BIT prediction recorded from that run.
+    pub oracle: RecordedBitOracle,
+}
+
+/// Cache key: (app name, nodes, seed). App specs are identified by name —
+/// [`AppSpec::splash2`] names are unique, and callers mixing custom specs
+/// under one name would already be ambiguous everywhere else.
+type Key = (String, u16, u64);
+
+/// A content-keyed exactly-once cache. Each key holds a [`OnceLock`] cell;
+/// the first looker-up computes, concurrent ones block on the lock and
+/// then share the value, later ones hit.
+struct Cache<T> {
+    cells: Mutex<HashMap<Key, Arc<OnceLock<Arc<T>>>>>,
+    lookups: AtomicU64,
+    computes: AtomicU64,
+}
+
+impl<T> Default for Cache<T> {
+    fn default() -> Self {
+        Cache {
+            cells: Mutex::new(HashMap::new()),
+            lookups: AtomicU64::new(0),
+            computes: AtomicU64::new(0),
+        }
+    }
+}
+
+impl<T> Cache<T> {
+    fn get_or_compute(&self, key: Key, compute: impl FnOnce() -> T) -> Arc<T> {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        let cell = {
+            let mut map = self.cells.lock().expect("cache poisoned");
+            Arc::clone(map.entry(key).or_default())
+        };
+        // The map lock is released before computing, so a slow fill never
+        // blocks lookups of other keys; `get_or_init` serializes fills of
+        // the *same* key, which is exactly the exactly-once guarantee.
+        Arc::clone(cell.get_or_init(|| {
+            self.computes.fetch_add(1, Ordering::Relaxed);
+            Arc::new(compute())
+        }))
+    }
+
+    fn computes(&self) -> u64 {
+        self.computes.load(Ordering::Relaxed)
+    }
+
+    fn hits(&self) -> u64 {
+        self.lookups.load(Ordering::Relaxed) - self.computes()
+    }
+}
+
+/// Parallel experiment runner with shared trace and Baseline/oracle caches.
+///
+/// The caches live for the lifetime of the harness, so sequential calls
+/// (`run` then `cutoff`, or repeated sweeps) keep amortizing the same
+/// Baseline recordings — build one harness per process, not per call.
+///
+/// # Examples
+///
+/// ```
+/// use tb_core::SystemConfig;
+/// use tb_machine::harness::{Cell, Harness};
+/// use tb_workloads::AppSpec;
+///
+/// let app = AppSpec::by_name("FMM").unwrap();
+/// let harness = Harness::new(2);
+/// let cells: Vec<Cell> = SystemConfig::ALL
+///     .into_iter()
+///     .map(|c| Cell::new(app.clone(), 16, 1, c))
+///     .collect();
+/// let reports = harness.run_cells(&cells);
+/// assert_eq!(reports.len(), 5);
+/// // All five configurations shared one trace and one Baseline run.
+/// assert_eq!(harness.trace_generations(), 1);
+/// assert_eq!(harness.baseline_runs(), 1);
+/// assert!(reports[3].total_energy() < reports[0].total_energy());
+/// ```
+pub struct Harness {
+    jobs: usize,
+    traces: Cache<AppTrace>,
+    baselines: Cache<BaselineBundle>,
+}
+
+impl std::fmt::Debug for Harness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Harness")
+            .field("jobs", &self.jobs)
+            .field("trace_generations", &self.trace_generations())
+            .field("baseline_runs", &self.baseline_runs())
+            .field("cache_hits", &self.cache_hits())
+            .finish()
+    }
+}
+
+impl Harness {
+    /// Creates a harness running up to `jobs` cells concurrently; `0`
+    /// means one worker per available hardware thread.
+    pub fn new(jobs: usize) -> Self {
+        let jobs = if jobs == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            jobs
+        };
+        Harness {
+            jobs,
+            traces: Cache::default(),
+            baselines: Cache::default(),
+        }
+    }
+
+    /// A single-worker harness: runs cells inline in caller order, still
+    /// with the shared caches.
+    pub fn serial() -> Self {
+        Harness::new(1)
+    }
+
+    /// The worker-pool size.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// The interned trace of (app, nodes, seed), generating it on first
+    /// use.
+    pub fn trace(&self, app: &AppSpec, nodes: u16, seed: u64) -> Arc<AppTrace> {
+        self.traces
+            .get_or_compute((app.name.clone(), nodes, seed), || {
+                app.generate(nodes as usize, seed)
+            })
+    }
+
+    /// The interned Baseline run (and derived oracle) of (app, nodes,
+    /// seed), simulating it on first use. This is the *only* place the
+    /// harness runs Baseline, so each triple runs it exactly once.
+    pub fn baseline(&self, app: &AppSpec, nodes: u16, seed: u64) -> Arc<BaselineBundle> {
+        let trace = self.trace(app, nodes, seed);
+        self.baselines
+            .get_or_compute((app.name.clone(), nodes, seed), || {
+                let cfg = SimulatorConfig::paper_with_nodes(SystemConfig::Baseline.name(), nodes);
+                let report = simulate(cfg, &trace, SystemConfig::Baseline.algorithm_config(), None);
+                let oracle = oracle_from_baseline(&report);
+                BaselineBundle { report, oracle }
+            })
+    }
+
+    /// Runs one cell, reusing the cached trace and (for Baseline and the
+    /// oracle configurations) the cached Baseline run.
+    pub fn run_cell(&self, cell: &Cell) -> RunReport {
+        if cell.config == SystemConfig::Baseline {
+            return self
+                .baseline(&cell.app, cell.nodes, cell.seed)
+                .report
+                .clone();
+        }
+        let trace = self.trace(&cell.app, cell.nodes, cell.seed);
+        let oracle = cell.config.needs_oracle().then(|| {
+            self.baseline(&cell.app, cell.nodes, cell.seed)
+                .oracle
+                .clone()
+        });
+        let cfg = SimulatorConfig::paper_with_nodes(cell.config.name(), cell.nodes);
+        simulate(cfg, &trace, cell.config.algorithm_config(), oracle)
+    }
+
+    /// Runs every cell and returns the reports **in `cells` order**,
+    /// regardless of completion order.
+    ///
+    /// Workers pull the next unclaimed index from a shared counter (cheap
+    /// work stealing: a long cell never blocks the queue behind it) and
+    /// write into that index's slot, so the result layout — and therefore
+    /// any output rendered from it — is identical at every `jobs` level.
+    pub fn run_cells(&self, cells: &[Cell]) -> Vec<RunReport> {
+        let workers = self.jobs.min(cells.len());
+        if workers <= 1 {
+            return cells.iter().map(|c| self.run_cell(c)).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<OnceLock<RunReport>> = cells.iter().map(|_| OnceLock::new()).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(cell) = cells.get(i) else { break };
+                    slots[i]
+                        .set(self.run_cell(cell))
+                        .expect("each index is claimed once");
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("worker filled every slot"))
+            .collect()
+    }
+
+    /// Runs the full `apps × configs × seeds` matrix and reshapes the
+    /// reports per application (see [`AppMatrix`]). Cells are flattened
+    /// app-major, then config, then seed, and the whole flat list is
+    /// scheduled at once so parallelism spans applications.
+    pub fn run_matrix(
+        &self,
+        apps: &[AppSpec],
+        configs: &[SystemConfig],
+        nodes: u16,
+        seeds: &[u64],
+    ) -> Vec<AppMatrix> {
+        let cells: Vec<Cell> = apps
+            .iter()
+            .flat_map(|app| {
+                configs.iter().flat_map(move |&config| {
+                    seeds
+                        .iter()
+                        .map(move |&seed| Cell::new(app.clone(), nodes, seed, config))
+                })
+            })
+            .collect();
+        let mut reports = self.run_cells(&cells).into_iter();
+        apps.iter()
+            .map(|app| AppMatrix {
+                app: app.clone(),
+                configs: configs.to_vec(),
+                seeds: seeds.to_vec(),
+                reports: configs
+                    .iter()
+                    .map(|_| (&mut reports).take(seeds.len()).collect())
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// Traces generated so far (one per distinct (app, nodes, seed)).
+    pub fn trace_generations(&self) -> u64 {
+        self.traces.computes()
+    }
+
+    /// Baseline simulations performed so far (one per distinct triple —
+    /// the exactly-once guarantee the caches exist for).
+    pub fn baseline_runs(&self) -> u64 {
+        self.baselines.computes()
+    }
+
+    /// Lookups served from a cache instead of recomputed, across both
+    /// caches.
+    pub fn cache_hits(&self) -> u64 {
+        self.traces.hits() + self.baselines.hits()
+    }
+}
+
+/// One application's slice of a [`Harness::run_matrix`] result.
+#[derive(Debug, Clone)]
+pub struct AppMatrix {
+    /// The application.
+    pub app: AppSpec,
+    /// Configuration order of the `reports` rows.
+    pub configs: Vec<SystemConfig>,
+    /// Seed order of the `reports` columns.
+    pub seeds: Vec<u64>,
+    /// `reports[config][seed]`, in the order of `configs` and `seeds`.
+    pub reports: Vec<Vec<RunReport>>,
+}
+
+impl AppMatrix {
+    /// The reports of one configuration across all seeds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` was not part of the matrix.
+    pub fn config_reports(&self, config: SystemConfig) -> &[RunReport] {
+        let i = self
+            .configs
+            .iter()
+            .position(|&c| c == config)
+            .unwrap_or_else(|| panic!("{} not in the matrix", config.name()));
+        &self.reports[i]
+    }
+
+    /// Mean/σ aggregation of every configuration across seeds, in the
+    /// matrix's configuration order. Each seed's sample is normalized to
+    /// the *same seed's* Baseline run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix does not include Baseline (nothing to
+    /// normalize against).
+    pub fn aggregates(&self) -> Vec<AggregateReport> {
+        let baselines = self.config_reports(SystemConfig::Baseline);
+        self.configs
+            .iter()
+            .zip(&self.reports)
+            .map(|(&config, row)| {
+                let mut agg =
+                    AggregateReport::new(self.app.name.clone(), config.name(), row[0].threads);
+                for (report, baseline) in row.iter().zip(baselines) {
+                    agg.push(report, baseline);
+                }
+                agg
+            })
+            .collect()
+    }
+
+    /// The per-seed reports flattened config-major — the exact layout the
+    /// serial `run_config_matrix` loop produces for one seed.
+    pub fn into_flat_reports(self) -> Vec<RunReport> {
+        self.reports.into_iter().flatten().collect()
+    }
+}

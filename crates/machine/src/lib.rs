@@ -29,6 +29,10 @@
 //!   [`tb_core::SystemConfig`] (transparently performing the Baseline
 //!   pre-run that feeds the Oracle-Halt/Ideal predictors), or under an
 //!   explicit [`tb_core::AlgorithmConfig`] for the ablations.
+//! * [`harness`] — the parallel experiment runner: fans (app × config ×
+//!   seed) matrices out across a scoped worker pool with shared trace and
+//!   Baseline/oracle caches, deterministic result order, and mean/σ
+//!   aggregation across replicated seeds.
 //!
 //! # Examples
 //!
@@ -43,9 +47,11 @@
 //! assert!(thrifty.total_energy() < baseline.total_energy());
 //! ```
 
+pub mod harness;
 pub mod report;
 pub mod run;
 pub mod sim;
 
-pub use report::{BarrierEventCounts, InstanceRecord, RunReport, SiteSummary};
+pub use harness::{AppMatrix, BaselineBundle, Cell, Harness};
+pub use report::{AggregateReport, BarrierEventCounts, InstanceRecord, RunReport, SiteSummary};
 pub use sim::{Simulator, SimulatorConfig, TimeSharing};

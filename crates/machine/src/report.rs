@@ -192,6 +192,70 @@ impl RunReport {
     }
 }
 
+/// Mean/σ summary of one (application, configuration) cell across
+/// replicated seeds — what `sweep --seeds N` reports instead of a single
+/// [`RunReport`].
+///
+/// Every per-seed sample is pushed together with its *same-seed* Baseline
+/// run, so the normalized metrics (`energy_vs_baseline`,
+/// `slowdown_vs_baseline`) pair each replication with its own control the
+/// way the paper's figures do, rather than normalizing to a pooled mean.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AggregateReport {
+    /// Application name.
+    pub app: String,
+    /// Configuration name.
+    pub config: String,
+    /// Processor/thread count.
+    pub threads: usize,
+    /// Wall-clock cycles per seed.
+    pub wall_time: OnlineStats,
+    /// Total machine energy (joules) per seed.
+    pub total_energy: OnlineStats,
+    /// Total energy normalized to the same-seed Baseline (1.0 = Baseline).
+    pub energy_vs_baseline: OnlineStats,
+    /// Fractional wall-clock slowdown vs the same-seed Baseline.
+    pub slowdown_vs_baseline: OnlineStats,
+    /// Barrier imbalance per seed.
+    pub imbalance: OnlineStats,
+    /// Event counts summed over all seeds.
+    pub counts: BarrierEventCounts,
+}
+
+impl AggregateReport {
+    /// Creates an empty aggregate for one matrix cell.
+    pub fn new(app: impl Into<String>, config: impl Into<String>, threads: usize) -> Self {
+        AggregateReport {
+            app: app.into(),
+            config: config.into(),
+            threads,
+            wall_time: OnlineStats::new(),
+            total_energy: OnlineStats::new(),
+            energy_vs_baseline: OnlineStats::new(),
+            slowdown_vs_baseline: OnlineStats::new(),
+            imbalance: OnlineStats::new(),
+            counts: BarrierEventCounts::default(),
+        }
+    }
+
+    /// Folds in one seed's run, paired with the Baseline run of the *same*
+    /// seed (pass the report itself when aggregating Baseline cells).
+    pub fn push(&mut self, report: &RunReport, baseline: &RunReport) {
+        self.wall_time.push(report.wall_time.as_u64() as f64);
+        self.total_energy.push(report.total_energy());
+        self.energy_vs_baseline
+            .push(report.energy_normalized_to(baseline).total());
+        self.slowdown_vs_baseline.push(report.slowdown_vs(baseline));
+        self.imbalance.push(report.barrier_imbalance());
+        self.counts.merge(&report.counts);
+    }
+
+    /// Number of replicated seeds folded in so far.
+    pub fn runs(&self) -> u64 {
+        self.wall_time.count()
+    }
+}
+
 /// Per-site BIT/BST statistics (the observed thread's BST, as in Figure 3).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SiteSummary {
@@ -346,6 +410,36 @@ mod tests {
         assert_eq!(a.sleeps_by_state, vec![1, 3, 4], "merges into the longer");
         assert_eq!(a.total_sleeps(), 8);
         assert_eq!(a.early_arrivals, 5);
+    }
+
+    #[test]
+    fn aggregate_pairs_each_seed_with_its_baseline() {
+        let base_a = report(10.0, 10.0, 1000);
+        let run_a = report(10.0, 2.0, 1010);
+        let base_b = report(10.0, 8.0, 2000);
+        let run_b = report(10.0, 2.0, 2040);
+        let mut agg = AggregateReport::new("X", "Thrifty", 2);
+        assert_eq!(agg.runs(), 0);
+        agg.push(&run_a, &base_a);
+        agg.push(&run_b, &base_b);
+        assert_eq!(agg.runs(), 2);
+        let want = (run_a.slowdown_vs(&base_a) + run_b.slowdown_vs(&base_b)) / 2.0;
+        assert!((agg.slowdown_vs_baseline.mean() - want).abs() < 1e-12);
+        assert!(
+            agg.energy_vs_baseline.mean() < 1.0,
+            "both seeds save energy"
+        );
+        assert!((agg.wall_time.mean() - 1525.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregate_of_baseline_against_itself_is_unity() {
+        let base = report(10.0, 10.0, 1000);
+        let mut agg = AggregateReport::new("X", "Baseline", 2);
+        agg.push(&base, &base);
+        assert!((agg.energy_vs_baseline.mean() - 1.0).abs() < 1e-12);
+        assert!(agg.slowdown_vs_baseline.mean().abs() < 1e-12);
+        assert_eq!(agg.slowdown_vs_baseline.std_dev(), 0.0);
     }
 
     #[test]

@@ -107,22 +107,18 @@ pub fn run_app(app: &AppSpec, threads: u16, seed: u64, sys: SystemConfig) -> Run
 
 /// Runs one application under all five configurations (the column group of
 /// Figures 5 and 6), sharing a single trace and a single Baseline run.
+///
+/// This is the serial convenience wrapper around
+/// [`crate::harness::Harness`]; build a harness directly to run many
+/// matrices in parallel or to keep the trace/Baseline caches across calls.
 pub fn run_config_matrix(app: &AppSpec, threads: u16, seed: u64) -> Vec<RunReport> {
-    let trace = app.generate(threads as usize, seed);
-    let baseline = run_trace(&trace, threads, SystemConfig::Baseline);
-    let oracle = oracle_from_baseline(&baseline);
-    let mut out = vec![baseline];
-    for sys in [
-        SystemConfig::ThriftyHalt,
-        SystemConfig::OracleHalt,
-        SystemConfig::Thrifty,
-        SystemConfig::Ideal,
-    ] {
-        let cfg = SimulatorConfig::paper_with_nodes(sys.name(), threads);
-        let oracle_arg = sys.needs_oracle().then(|| oracle.clone());
-        out.push(simulate(cfg, &trace, sys.algorithm_config(), oracle_arg));
-    }
-    out
+    use crate::harness::{Cell, Harness};
+    let harness = Harness::serial();
+    let cells: Vec<Cell> = SystemConfig::ALL
+        .into_iter()
+        .map(|sys| Cell::new(app.clone(), threads, seed, sys))
+        .collect();
+    harness.run_cells(&cells)
 }
 
 #[cfg(test)]

@@ -1,0 +1,156 @@
+//! The parallel harness must be a pure speed-up: identical results to the
+//! serial path, with the shared caches making Baseline exactly-once.
+
+use tb_core::SystemConfig;
+use tb_machine::harness::{Cell, Harness};
+use tb_machine::run::run_config_matrix;
+use tb_workloads::AppSpec;
+
+const NODES: u16 = 8;
+const SEED: u64 = 3;
+
+fn apps(n: usize) -> Vec<AppSpec> {
+    AppSpec::splash2().into_iter().take(n).collect()
+}
+
+fn all_cells(apps: &[AppSpec], seeds: &[u64]) -> Vec<Cell> {
+    apps.iter()
+        .flat_map(|app| {
+            SystemConfig::ALL.into_iter().flat_map(move |config| {
+                seeds
+                    .iter()
+                    .map(move |&seed| Cell::new(app.clone(), NODES, seed, config))
+            })
+        })
+        .collect()
+}
+
+#[test]
+fn parallel_reports_match_serial_byte_for_byte() {
+    let apps = apps(3);
+    let cells = all_cells(&apps, &[SEED]);
+    let serial = Harness::new(1).run_cells(&cells);
+    let parallel = Harness::new(8).run_cells(&cells);
+    assert_eq!(serial.len(), parallel.len());
+    // RunReport has float fields, so compare the canonical JSON encoding:
+    // deterministic simulation must make parallel output *identical*, not
+    // merely close.
+    assert_eq!(
+        serde::json::to_string(&serial),
+        serde::json::to_string(&parallel)
+    );
+}
+
+#[test]
+fn harness_matches_run_config_matrix() {
+    let app = AppSpec::by_name("Radiosity").unwrap();
+    let via_matrix = run_config_matrix(&app, NODES, SEED);
+    let harness = Harness::new(4);
+    let cells: Vec<Cell> = SystemConfig::ALL
+        .into_iter()
+        .map(|c| Cell::new(app.clone(), NODES, SEED, c))
+        .collect();
+    let via_harness = harness.run_cells(&cells);
+    assert_eq!(
+        serde::json::to_string(&via_matrix),
+        serde::json::to_string(&via_harness)
+    );
+}
+
+#[test]
+fn baseline_runs_exactly_once_per_triple_under_contention() {
+    let apps = apps(2);
+    let seeds = [SEED, SEED + 1];
+    let harness = Harness::new(8);
+    let reports = harness.run_cells(&all_cells(&apps, &seeds));
+    assert_eq!(reports.len(), 2 * 5 * 2);
+    // 2 apps × 2 seeds = 4 triples; each generates one trace and runs
+    // Baseline once even though 8 workers race for them and three configs
+    // (Baseline, Oracle-Halt, Ideal) consume each Baseline.
+    assert_eq!(harness.trace_generations(), 4);
+    assert_eq!(harness.baseline_runs(), 4);
+    // Every cell beyond the first consumer of each triple was served from
+    // a cache.
+    let hits_after_first = harness.cache_hits();
+    assert!(hits_after_first >= 20 - 4, "got {hits_after_first} hits");
+    // Re-running the same cells is all hits, no new simulations.
+    let again = harness.run_cells(&all_cells(&apps, &seeds));
+    assert_eq!(harness.baseline_runs(), 4);
+    assert_eq!(harness.trace_generations(), 4);
+    assert!(harness.cache_hits() > hits_after_first);
+    assert_eq!(
+        serde::json::to_string(&reports),
+        serde::json::to_string(&again)
+    );
+}
+
+#[test]
+fn results_come_back_in_cell_order() {
+    let app = AppSpec::by_name("FFT").unwrap();
+    // Deliberately scrambled, duplicated config order.
+    let order = [
+        SystemConfig::Ideal,
+        SystemConfig::Baseline,
+        SystemConfig::Thrifty,
+        SystemConfig::Baseline,
+        SystemConfig::OracleHalt,
+    ];
+    let cells: Vec<Cell> = order
+        .into_iter()
+        .map(|c| Cell::new(app.clone(), NODES, SEED, c))
+        .collect();
+    let harness = Harness::new(4);
+    let names: Vec<String> = harness
+        .run_cells(&cells)
+        .into_iter()
+        .map(|r| r.config)
+        .collect();
+    assert_eq!(
+        names,
+        vec!["Ideal", "Baseline", "Thrifty", "Baseline", "Oracle-Halt"]
+    );
+    assert_eq!(harness.baseline_runs(), 1, "duplicate cells also share");
+}
+
+#[test]
+fn matrix_reshape_and_aggregates() {
+    let apps = apps(2);
+    let seeds = [SEED, SEED + 1, SEED + 2];
+    let harness = Harness::new(8);
+    let matrix = harness.run_matrix(&apps, &SystemConfig::ALL, NODES, &seeds);
+    assert_eq!(matrix.len(), 2);
+    for (m, app) in matrix.iter().zip(&apps) {
+        assert_eq!(m.app.name, app.name);
+        assert_eq!(m.reports.len(), 5);
+        for (row, config) in m.reports.iter().zip(SystemConfig::ALL) {
+            assert_eq!(row.len(), 3);
+            for (report, &seed) in row.iter().zip(&seeds) {
+                assert_eq!(report.config, config.name());
+                // Per-seed traces differ, so episode counts may not; but
+                // the report must come from the right app.
+                assert_eq!(report.app, app.name);
+                let _ = seed;
+            }
+        }
+        let aggs = m.aggregates();
+        assert_eq!(aggs.len(), 5);
+        assert!(aggs.iter().all(|a| a.runs() == 3));
+        let base = &aggs[0];
+        assert!((base.energy_vs_baseline.mean() - 1.0).abs() < 1e-12);
+        assert!(base.slowdown_vs_baseline.std_dev() < 1e-12);
+        // Thrifty (index 3) saves energy on every seed.
+        assert!(aggs[3].energy_vs_baseline.max().unwrap() < 1.0);
+    }
+    // 2 apps × 3 seeds triples.
+    assert_eq!(harness.baseline_runs(), 6);
+}
+
+#[test]
+fn config_reports_selects_by_config() {
+    let apps = apps(1);
+    let harness = Harness::serial();
+    let matrix = harness.run_matrix(&apps, &SystemConfig::ALL, NODES, &[SEED]);
+    let thrifty = matrix[0].config_reports(SystemConfig::Thrifty);
+    assert_eq!(thrifty.len(), 1);
+    assert_eq!(thrifty[0].config, "Thrifty");
+}

@@ -1,0 +1,202 @@
+//! Command-line option parsing for the `thrifty-barrier` binary.
+//!
+//! Lives in the library (rather than `main.rs`) so the rejection rules are
+//! unit-testable and integration tests can build the exact option sets the
+//! binary would.
+
+use tb_machine::run::PAPER_SEED;
+
+/// Parsed command options (the flags shared by every subcommand).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Options {
+    /// Machine size (power of two in `2..=64`).
+    pub nodes: u16,
+    /// Base workload seed.
+    pub seed: u64,
+    /// Number of replicated seeds (`seed, seed+1, …`).
+    pub seeds: u64,
+    /// Worker-pool size; `0` means one worker per hardware thread.
+    pub jobs: usize,
+    /// Configuration name for `run`/`trace`.
+    pub config: Option<String>,
+    /// Emit machine-readable JSON instead of the human tables.
+    pub json: bool,
+    /// Output file for `trace`.
+    pub out: Option<String>,
+    /// Trace export format (`perfetto` or `jsonl`).
+    pub format: String,
+    /// Per-thread trace ring capacity (events).
+    pub ring: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            nodes: 64,
+            seed: PAPER_SEED,
+            seeds: 1,
+            jobs: 0,
+            config: None,
+            json: false,
+            out: None,
+            format: "perfetto".to_string(),
+            ring: 1 << 16,
+        }
+    }
+}
+
+impl Options {
+    /// The replication seed list: `seeds` consecutive seeds starting at
+    /// `seed`.
+    pub fn seed_list(&self) -> Vec<u64> {
+        (0..self.seeds).map(|i| self.seed.wrapping_add(i)).collect()
+    }
+}
+
+/// Parses the option tail of a subcommand.
+///
+/// # Errors
+///
+/// Returns a human-readable message on unknown flags, missing values, or
+/// out-of-range values (non-power-of-two `--nodes`, zero `--seeds` or
+/// `--ring`, unknown `--format`).
+pub fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--nodes" => {
+                let v = it.next().ok_or("--nodes needs a value")?;
+                opts.nodes = v.parse().map_err(|_| format!("bad node count {v:?}"))?;
+                if !opts.nodes.is_power_of_two() || !(2..=64).contains(&opts.nodes) {
+                    return Err(format!(
+                        "node count must be a power of two in 2..=64, got {}",
+                        opts.nodes
+                    ));
+                }
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                opts.seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?;
+            }
+            "--seeds" => {
+                let v = it.next().ok_or("--seeds needs a value")?;
+                opts.seeds = v.parse().map_err(|_| format!("bad seed count {v:?}"))?;
+                if opts.seeds == 0 {
+                    return Err("--seeds must be at least 1".to_string());
+                }
+            }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                opts.jobs = v.parse().map_err(|_| format!("bad job count {v:?}"))?;
+                if opts.jobs == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+            }
+            "--config" => {
+                opts.config = Some(it.next().ok_or("--config needs a value")?.clone());
+            }
+            "--json" => opts.json = true,
+            "--out" => {
+                opts.out = Some(it.next().ok_or("--out needs a value")?.clone());
+            }
+            "--format" => {
+                let v = it.next().ok_or("--format needs a value")?;
+                if v != "perfetto" && v != "jsonl" {
+                    return Err(format!("--format must be perfetto or jsonl, got {v:?}"));
+                }
+                opts.format = v.clone();
+            }
+            "--ring" => {
+                let v = it.next().ok_or("--ring needs a value")?;
+                opts.ring = v.parse().map_err(|_| format!("bad ring capacity {v:?}"))?;
+                if opts.ring == 0 {
+                    return Err("ring capacity must be positive".to_string());
+                }
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        parse_options(&owned)
+    }
+
+    #[test]
+    fn defaults_without_flags() {
+        let opts = parse(&[]).unwrap();
+        assert_eq!(opts, Options::default());
+        assert_eq!(opts.nodes, 64);
+        assert_eq!(opts.seed, PAPER_SEED);
+        assert_eq!(opts.seeds, 1);
+        assert_eq!(opts.jobs, 0, "0 = one worker per hardware thread");
+        assert_eq!(opts.seed_list(), vec![PAPER_SEED]);
+    }
+
+    #[test]
+    fn full_flag_set_round_trips() {
+        let opts = parse(&[
+            "--nodes", "16", "--seed", "9", "--seeds", "3", "--jobs", "4", "--config", "Thrifty",
+            "--json", "--out", "x.json", "--format", "jsonl", "--ring", "1024",
+        ])
+        .unwrap();
+        assert_eq!(opts.nodes, 16);
+        assert_eq!(opts.seed, 9);
+        assert_eq!(opts.seeds, 3);
+        assert_eq!(opts.seed_list(), vec![9, 10, 11]);
+        assert_eq!(opts.jobs, 4);
+        assert_eq!(opts.config.as_deref(), Some("Thrifty"));
+        assert!(opts.json);
+        assert_eq!(opts.out.as_deref(), Some("x.json"));
+        assert_eq!(opts.format, "jsonl");
+        assert_eq!(opts.ring, 1024);
+    }
+
+    #[test]
+    fn rejects_non_power_of_two_nodes() {
+        let err = parse(&["--nodes", "12"]).unwrap_err();
+        assert!(err.contains("power of two"), "{err}");
+        assert!(parse(&["--nodes", "128"]).is_err(), "above the 64 cap");
+        assert!(parse(&["--nodes", "1"]).is_err(), "below the 2 floor");
+        assert!(parse(&["--nodes", "banana"]).is_err());
+        assert!(parse(&["--nodes"]).is_err(), "missing value");
+    }
+
+    #[test]
+    fn rejects_zero_ring() {
+        let err = parse(&["--ring", "0"]).unwrap_err();
+        assert!(err.contains("positive"), "{err}");
+    }
+
+    #[test]
+    fn rejects_bad_format() {
+        let err = parse(&["--format", "csv"]).unwrap_err();
+        assert!(err.contains("perfetto or jsonl"), "{err}");
+        assert!(parse(&["--format", "perfetto"]).is_ok());
+        assert!(parse(&["--format", "jsonl"]).is_ok());
+    }
+
+    #[test]
+    fn rejects_unknown_flags() {
+        let err = parse(&["--frobnicate"]).unwrap_err();
+        assert!(err.contains("unknown option"), "{err}");
+        assert!(err.contains("--frobnicate"), "{err}");
+        // Bare positional words are unknown options too.
+        assert!(parse(&["fast"]).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_jobs_and_zero_seeds() {
+        assert!(parse(&["--jobs", "0"]).unwrap_err().contains("at least 1"));
+        assert!(parse(&["--seeds", "0"]).unwrap_err().contains("at least 1"));
+        assert!(parse(&["--jobs", "-1"]).is_err());
+        assert!(parse(&["--seeds"]).is_err(), "missing value");
+    }
+}

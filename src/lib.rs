@@ -40,6 +40,8 @@
 //! assert!(thrifty.total_energy() < baseline.total_energy());
 //! ```
 
+pub mod cli;
+
 pub use tb_core as core;
 pub use tb_energy as energy;
 pub use tb_machine as machine;

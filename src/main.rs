@@ -2,86 +2,30 @@
 //!
 //! ```text
 //! thrifty-barrier list
-//! thrifty-barrier run <app> [--nodes N] [--seed S] [--config NAME] [--json]
-//! thrifty-barrier sweep [--nodes N] [--seed S] [--json]
+//! thrifty-barrier run <app> [--nodes N] [--seed S] [--seeds K] [--jobs J] [--config NAME] [--json]
+//! thrifty-barrier sweep [--nodes N] [--seed S] [--seeds K] [--jobs J] [--json]
 //! thrifty-barrier cutoff [--nodes N] [--seed S]
 //! thrifty-barrier trace <app> --out FILE [--format perfetto|jsonl] [--config NAME]
 //! ```
 //!
+//! `run` and `sweep` fan their (app × config × seed) cells out across a
+//! [`Harness`] worker pool: `--jobs J` sets the pool size (default: one
+//! worker per hardware thread) and `--seeds K` replicates every cell over
+//! K consecutive seeds, reporting mean ± σ. Each (app, nodes, seed)
+//! generates its trace once and simulates Baseline exactly once, no matter
+//! how many configurations consume it; results are emitted in matrix
+//! order, so output is byte-identical at every `--jobs` level.
+//!
 //! The full table/figure reproduction lives in the bench targets
 //! (`cargo bench`); this binary is the interactive entry point.
 
+use thrifty_barrier::cli::{parse_options, Options};
 use thrifty_barrier::core::SystemConfig;
-use thrifty_barrier::machine::run::{
-    run_config_matrix, run_trace, run_trace_recording, run_trace_with, PAPER_SEED,
-};
-use thrifty_barrier::machine::RunReport;
+use thrifty_barrier::machine::harness::{Cell, Harness};
+use thrifty_barrier::machine::run::{run_trace_recording, run_trace_with};
+use thrifty_barrier::machine::{AggregateReport, RunReport};
 use thrifty_barrier::trace::PredictionAccuracyReport;
 use thrifty_barrier::workloads::AppSpec;
-
-struct Options {
-    nodes: u16,
-    seed: u64,
-    config: Option<String>,
-    json: bool,
-    out: Option<String>,
-    format: String,
-    ring: usize,
-}
-
-fn parse_options(args: &[String]) -> Result<Options, String> {
-    let mut opts = Options {
-        nodes: 64,
-        seed: PAPER_SEED,
-        config: None,
-        json: false,
-        out: None,
-        format: "perfetto".to_string(),
-        ring: 1 << 16,
-    };
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--nodes" => {
-                let v = it.next().ok_or("--nodes needs a value")?;
-                opts.nodes = v.parse().map_err(|_| format!("bad node count {v:?}"))?;
-                if !opts.nodes.is_power_of_two() || !(2..=64).contains(&opts.nodes) {
-                    return Err(format!(
-                        "node count must be a power of two in 2..=64, got {}",
-                        opts.nodes
-                    ));
-                }
-            }
-            "--seed" => {
-                let v = it.next().ok_or("--seed needs a value")?;
-                opts.seed = v.parse().map_err(|_| format!("bad seed {v:?}"))?;
-            }
-            "--config" => {
-                opts.config = Some(it.next().ok_or("--config needs a value")?.clone());
-            }
-            "--json" => opts.json = true,
-            "--out" => {
-                opts.out = Some(it.next().ok_or("--out needs a value")?.clone());
-            }
-            "--format" => {
-                let v = it.next().ok_or("--format needs a value")?;
-                if v != "perfetto" && v != "jsonl" {
-                    return Err(format!("--format must be perfetto or jsonl, got {v:?}"));
-                }
-                opts.format = v.clone();
-            }
-            "--ring" => {
-                let v = it.next().ok_or("--ring needs a value")?;
-                opts.ring = v.parse().map_err(|_| format!("bad ring capacity {v:?}"))?;
-                if opts.ring == 0 {
-                    return Err("ring capacity must be positive".to_string());
-                }
-            }
-            other => return Err(format!("unknown option {other:?}")),
-        }
-    }
-    Ok(opts)
-}
 
 fn app_by_name(name: &str) -> Result<AppSpec, String> {
     AppSpec::splash2()
@@ -94,6 +38,18 @@ fn config_by_name(name: &str) -> Option<SystemConfig> {
     SystemConfig::ALL
         .into_iter()
         .find(|c| c.name().eq_ignore_ascii_case(name) || c.letter().to_string() == name)
+}
+
+/// The short column label used in the sweep table (derived from the
+/// config, never from a position).
+fn short_label(config: SystemConfig) -> &'static str {
+    match config {
+        SystemConfig::Baseline => "Base",
+        SystemConfig::ThriftyHalt => "Halt",
+        SystemConfig::OracleHalt => "Orac",
+        SystemConfig::Thrifty => "Thr",
+        SystemConfig::Ideal => "Ideal",
+    }
 }
 
 fn print_report(r: &RunReport, base: Option<&RunReport>) {
@@ -120,6 +76,26 @@ fn print_report(r: &RunReport, base: Option<&RunReport>) {
     );
 }
 
+fn print_aggregate(a: &AggregateReport) {
+    println!(
+        "{}/{} over {} seeds: wall {:.0}±{:.0} cycles, energy {:.3}±{:.3}J",
+        a.app,
+        a.config,
+        a.runs(),
+        a.wall_time.mean(),
+        a.wall_time.std_dev(),
+        a.total_energy.mean(),
+        a.total_energy.std_dev(),
+    );
+    println!(
+        "  vs baseline: energy {:+.1}±{:.1}%, time {:+.2}±{:.2}%",
+        (a.energy_vs_baseline.mean() - 1.0) * 100.0,
+        a.energy_vs_baseline.std_dev() * 100.0,
+        a.slowdown_vs_baseline.mean() * 100.0,
+        a.slowdown_vs_baseline.std_dev() * 100.0,
+    );
+}
+
 fn cmd_list() {
     println!(
         "{:<11} {:<36} {:>10} {:>8}",
@@ -138,32 +114,52 @@ fn cmd_list() {
 
 fn cmd_run(app_name: &str, opts: &Options) -> Result<(), String> {
     let app = app_by_name(app_name)?;
+    let harness = Harness::new(opts.jobs);
+    let seeds = opts.seed_list();
     match &opts.config {
         Some(name) => {
             let sys = config_by_name(name).ok_or_else(|| {
                 format!("unknown config {name:?} (Baseline/Thrifty-Halt/Oracle-Halt/Thrifty/Ideal)")
             })?;
-            let trace = app.generate(opts.nodes as usize, opts.seed);
-            let base = run_trace(&trace, opts.nodes, SystemConfig::Baseline);
-            let r = if sys == SystemConfig::Baseline {
-                base.clone()
-            } else {
-                run_trace(&trace, opts.nodes, sys)
-            };
+            let cells: Vec<Cell> = seeds
+                .iter()
+                .map(|&s| Cell::new(app.clone(), opts.nodes, s, sys))
+                .collect();
+            // One pass: the harness caches the Baseline run each oracle
+            // configuration needs, and the comparison row below reuses
+            // that same cached run instead of simulating Baseline again.
+            let reports = harness.run_cells(&cells);
             if opts.json {
-                println!("{}", serde::json::to_string(&r));
+                if seeds.len() == 1 {
+                    println!("{}", serde::json::to_string(&reports[0]));
+                } else {
+                    println!("{}", serde::json::to_string(&reports));
+                }
+            } else if seeds.len() == 1 {
+                let base = harness.baseline(&app, opts.nodes, seeds[0]);
+                print_report(&reports[0], Some(&base.report));
             } else {
-                print_report(&r, Some(&base));
+                let mut agg = AggregateReport::new(&app.name, sys.name(), opts.nodes as usize);
+                for (r, &s) in reports.iter().zip(&seeds) {
+                    agg.push(r, &harness.baseline(&app, opts.nodes, s).report);
+                }
+                print_aggregate(&agg);
             }
         }
         None => {
-            let reports = run_config_matrix(&app, opts.nodes, opts.seed);
+            let matrix = harness
+                .run_matrix(&[app], &SystemConfig::ALL, opts.nodes, &seeds)
+                .remove(0);
             if opts.json {
-                println!("{}", serde::json::to_string(&reports));
+                println!("{}", serde::json::to_string(&matrix.into_flat_reports()));
+            } else if seeds.len() == 1 {
+                let base = &matrix.config_reports(SystemConfig::Baseline)[0];
+                for row in &matrix.reports {
+                    print_report(&row[0], Some(base));
+                }
             } else {
-                let base = reports[0].clone();
-                for r in &reports {
-                    print_report(r, Some(&base));
+                for agg in matrix.aggregates() {
+                    print_aggregate(&agg);
                 }
             }
         }
@@ -172,50 +168,86 @@ fn cmd_run(app_name: &str, opts: &Options) -> Result<(), String> {
 }
 
 fn cmd_sweep(opts: &Options) {
+    let harness = Harness::new(opts.jobs);
+    let configs = SystemConfig::ALL;
+    let seeds = opts.seed_list();
+    let matrix = harness.run_matrix(&AppSpec::splash2(), &configs, opts.nodes, &seeds);
     if opts.json {
-        let mut all: Vec<RunReport> = Vec::new();
-        for app in AppSpec::splash2() {
-            all.extend(run_config_matrix(&app, opts.nodes, opts.seed));
-        }
+        let all: Vec<RunReport> = matrix
+            .into_iter()
+            .flat_map(|m| m.into_flat_reports())
+            .collect();
         println!("{}", serde::json::to_string(&all));
         return;
     }
-    println!(
-        "{:<11} {:>9} | {:>8} {:>8} {:>8} {:>8} | {:>8}",
-        "app", "imbal", "E:Halt", "E:Orac", "E:Thr", "E:Ideal", "slowdn"
-    );
-    for app in AppSpec::splash2() {
-        let reports = run_config_matrix(&app, opts.nodes, opts.seed);
-        let base = &reports[0];
-        let e: Vec<f64> = reports
+    // Column order is derived from the configuration list, so reordering
+    // it (or `SystemConfig::ALL`) reorders the table instead of silently
+    // printing one configuration's numbers under another's header.
+    let energy_cols: Vec<usize> = (0..configs.len())
+        .filter(|&i| configs[i] != SystemConfig::Baseline)
+        .collect();
+    let slow_col = configs
+        .iter()
+        .position(|&c| c == SystemConfig::Thrifty)
+        .expect("sweep table quotes the Thrifty slowdown");
+    let replicated = seeds.len() > 1;
+    let mut header = format!("{:<11} {:>9} |", "app", "imbal");
+    for &i in &energy_cols {
+        let label = format!("E:{}", short_label(configs[i]));
+        if replicated {
+            header.push_str(&format!(" {label:>13}"));
+        } else {
+            header.push_str(&format!(" {label:>8}"));
+        }
+    }
+    header.push_str(&format!(" | {:>8}", "slowdn"));
+    println!("{header}");
+    for m in &matrix {
+        let aggs = m.aggregates();
+        let base = &aggs[configs
             .iter()
-            .map(|r| r.energy_normalized_to(base).total() * 100.0)
-            .collect();
-        println!(
-            "{:<11} {:>8.2}% | {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}% | {:>+7.2}%",
-            app.name,
-            base.barrier_imbalance() * 100.0,
-            e[1],
-            e[2],
-            e[3],
-            e[4],
-            reports[3].slowdown_vs(base) * 100.0
+            .position(|&c| c == SystemConfig::Baseline)
+            .expect("sweep normalizes to Baseline")];
+        let mut row = format!(
+            "{:<11} {:>8.2}% |",
+            m.app.name,
+            base.imbalance.mean() * 100.0
         );
+        for &i in &energy_cols {
+            let e = &aggs[i].energy_vs_baseline;
+            if replicated {
+                row.push_str(&format!(
+                    " {:>6.1}±{:>4.1}%",
+                    e.mean() * 100.0,
+                    e.std_dev() * 100.0
+                ));
+            } else {
+                row.push_str(&format!(" {:>7.1}%", e.mean() * 100.0));
+            }
+        }
+        row.push_str(&format!(
+            " | {:>+7.2}%",
+            aggs[slow_col].slowdown_vs_baseline.mean() * 100.0
+        ));
+        println!("{row}");
     }
 }
 
 fn cmd_cutoff(opts: &Options) {
     use thrifty_barrier::core::AlgorithmConfig;
     let app = AppSpec::by_name("Ocean").expect("Ocean exists");
-    let trace = app.generate(opts.nodes as usize, opts.seed);
-    let base = run_trace(&trace, opts.nodes, SystemConfig::Baseline);
+    let harness = Harness::new(opts.jobs);
+    // The cached Baseline bundle: one trace generation, one Baseline
+    // simulation, shared with any other command using this harness.
+    let trace = harness.trace(&app, opts.nodes, opts.seed);
+    let base = harness.baseline(&app, opts.nodes, opts.seed);
     for (label, th) in [("cut-off off", None), ("cut-off 10%", Some(0.10))] {
         let cfg = AlgorithmConfig::thrifty().with_overprediction_threshold(th);
         let r = run_trace_with(&trace, opts.nodes, label, cfg, None);
         println!(
             "{label:<13} energy {:>6.1}%  slowdown {:>+6.2}%  disables {}",
-            r.energy_normalized_to(&base).total() * 100.0,
-            r.slowdown_vs(&base) * 100.0,
+            r.energy_normalized_to(&base.report).total() * 100.0,
+            r.slowdown_vs(&base.report) * 100.0,
             r.counts.cutoff_disables
         );
     }
@@ -267,8 +299,8 @@ fn usage() -> ! {
          sweep                     all apps x all configs (Figures 5/6 data)\n  \
          cutoff                    the Ocean overprediction cut-off story\n  \
          trace <app> --out FILE    record per-episode events to a trace file\n\
-         options: --nodes N (power of two <= 64), --seed S, --json,\n\
-         \x20        --format perfetto|jsonl, --ring EVENTS_PER_THREAD, --config C"
+         options: --nodes N (power of two <= 64), --seed S, --seeds K, --jobs J,\n\
+         \x20        --json, --format perfetto|jsonl, --ring EVENTS_PER_THREAD, --config C"
     );
     std::process::exit(2);
 }

@@ -1,0 +1,87 @@
+//! End-to-end tests of the `thrifty-barrier` binary: flag rejection exit
+//! paths and the parallel-harness determinism guarantee.
+
+use std::process::{Command, Output};
+
+fn bin(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_thrifty-barrier"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+#[test]
+fn bad_options_exit_nonzero_with_message() {
+    for (args, needle) in [
+        (&["sweep", "--nodes", "12"][..], "power of two"),
+        (&["sweep", "--jobs", "0"][..], "at least 1"),
+        (&["sweep", "--seeds", "0"][..], "at least 1"),
+        (
+            &["trace", "Ocean", "--format", "csv"][..],
+            "perfetto or jsonl",
+        ),
+        (&["trace", "Ocean", "--ring", "0"][..], "positive"),
+        (&["sweep", "--frobnicate"][..], "unknown option"),
+        (
+            &["run", "NoSuchApp", "--nodes", "8"][..],
+            "unknown application",
+        ),
+    ] {
+        let out = bin(args);
+        assert!(!out.status.success(), "{args:?} must fail");
+        assert!(
+            stderr(&out).contains(needle),
+            "{args:?}: stderr {:?} should mention {needle:?}",
+            stderr(&out)
+        );
+    }
+}
+
+#[test]
+fn unknown_command_prints_usage() {
+    let out = bin(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("usage:"));
+}
+
+/// The acceptance bar for the parallel harness: `sweep --jobs 8` must be
+/// byte-identical to `--jobs 1`, in both the human table and the
+/// `RunReport` JSON.
+#[test]
+fn sweep_output_is_identical_at_every_jobs_level() {
+    let serial = bin(&["sweep", "--nodes", "8", "--jobs", "1"]);
+    let parallel = bin(&["sweep", "--nodes", "8", "--jobs", "8"]);
+    assert!(serial.status.success() && parallel.status.success());
+    assert!(!serial.stdout.is_empty());
+    assert_eq!(
+        serial.stdout, parallel.stdout,
+        "human table must byte-match"
+    );
+
+    let serial_json = bin(&["sweep", "--nodes", "8", "--jobs", "1", "--json"]);
+    let parallel_json = bin(&["sweep", "--nodes", "8", "--jobs", "8", "--json"]);
+    assert!(serial_json.status.success() && parallel_json.status.success());
+    assert_eq!(
+        serial_json.stdout, parallel_json.stdout,
+        "RunReport JSON must byte-match"
+    );
+    // And the JSON really is the full 10 × 5 matrix of reports.
+    let reports: Vec<thrifty_barrier::machine::RunReport> =
+        serde::json::from_str(&String::from_utf8_lossy(&serial_json.stdout)).expect("valid JSON");
+    assert_eq!(reports.len(), 50);
+}
+
+#[test]
+fn run_with_seeds_reports_aggregates() {
+    let out = bin(&[
+        "run", "Volrend", "--nodes", "8", "--seeds", "2", "--config", "Thrifty",
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("over 2 seeds"), "{stdout}");
+    assert!(stdout.contains("±"), "{stdout}");
+}
