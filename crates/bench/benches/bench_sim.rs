@@ -1,0 +1,174 @@
+//! BENCH_sim: the simulator macro-benchmark — wall-clock throughput of the
+//! full paper sweep (`AppSpec::splash2()` × `SystemConfig::ALL`), the same
+//! work as `thrifty-barrier sweep`.
+//!
+//! Two modes:
+//!
+//! * **Full** (default): runs the sweep at [`tb_bench::bench_nodes`] nodes,
+//!   prints a summary, and writes `BENCH_sim.json` at the workspace root
+//!   (override with `TB_BENCH_OUT`) with episodes/sec, events/sec, peak
+//!   RSS, the FNV-1a digest of the report JSON, and the speedup against the
+//!   committed pre-optimization baseline.
+//! * **Quick** (`TB_BENCH_QUICK=1`): runs an 8-node sweep and compares the
+//!   report-JSON digest against the committed fixture
+//!   (`tests/golden/sweep_n8_json.digest`), exiting non-zero on drift.
+//!   This is the CI smoke: it fails on *behavioral* drift, never on timing.
+//!
+//! Knobs: `TB_BENCH_NODES`, `TB_BENCH_SEED`, `TB_BENCH_JOBS` (see
+//! `tb_bench`), `TB_BENCH_OUT`.
+
+use std::time::Instant;
+use tb_core::SystemConfig;
+use tb_machine::harness::Harness;
+use tb_machine::run::PAPER_SEED;
+use tb_machine::RunReport;
+use tb_sim::digest::fnv1a64_hex;
+use tb_workloads::AppSpec;
+
+/// Throughput of the parent commit (df3f326) measured on the same
+/// workload (64-node paper sweep, paper seed): 3315 episodes in 1.238 s.
+const BASELINE_COMMIT: &str = "df3f326";
+const BASELINE_EPISODES_PER_SEC: f64 = 2678.5;
+const BASELINE_WALL_SECS: f64 = 1.238;
+
+fn workspace_root() -> std::path::PathBuf {
+    // CARGO_MANIFEST_DIR is crates/bench; the workspace root is two up.
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), or 0 where procfs is unavailable.
+fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|v| v.trim().strip_suffix("kB"))
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .map(|kb| kb * 1024)
+        .unwrap_or(0)
+}
+
+/// Barrier-level event total across reports: everything the simulator
+/// delivered through its event queue that the reports record (arrivals,
+/// spins, sleeps, flushes, wake-ups).
+fn total_events(reports: &[RunReport]) -> u64 {
+    reports
+        .iter()
+        .map(|r| {
+            let c = &r.counts;
+            c.episodes
+                + c.early_arrivals
+                + c.spins
+                + c.sleeps_by_state.iter().sum::<u64>()
+                + c.flushes
+                + c.internal_wakeups
+                + c.external_wakeups
+                + c.false_wakeups
+        })
+        .sum()
+}
+
+fn run_sweep(nodes: u16, seed: u64, jobs: usize) -> (Vec<RunReport>, f64) {
+    let harness = Harness::new(jobs);
+    let t0 = Instant::now();
+    let reports: Vec<RunReport> = harness
+        .run_matrix(&AppSpec::splash2(), &SystemConfig::ALL, nodes, &[seed])
+        .into_iter()
+        .flat_map(|m| m.into_flat_reports())
+        .collect();
+    (reports, t0.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let quick = std::env::var_os("TB_BENCH_QUICK").is_some();
+    let seed = tb_bench::bench_seed();
+    let jobs = tb_bench::bench_jobs();
+    let nodes = if quick { 8 } else { tb_bench::bench_nodes() };
+
+    // Not `tb_bench::banner`: quick mode pins the machine to 8 nodes, and
+    // the shared banner would re-read `TB_BENCH_NODES` and print 64.
+    println!("==============================================================================");
+    println!(
+        "BENCH_sim: simulator macro-benchmark ({})",
+        if quick {
+            "quick: digest drift check"
+        } else {
+            "paper sweep throughput"
+        }
+    );
+    println!("machine: {nodes} nodes (Table 1), seed {seed:#x}");
+    println!("==============================================================================");
+
+    let (reports, wall) = run_sweep(nodes, seed, jobs);
+    let json = serde::json::to_string(&reports);
+    let digest = fnv1a64_hex(json.as_bytes());
+    let episodes: u64 = reports.iter().map(|r| r.counts.episodes).sum();
+    let events = total_events(&reports);
+    println!(
+        "nodes {nodes}  seed {seed:#x}  wall {wall:.3}s  episodes {episodes}  \
+         events {events}  digest {digest}"
+    );
+
+    if quick {
+        // Digest drift gate: the committed fixture is the 8-node paper-seed
+        // sweep. Only comparable when the knobs are at their defaults.
+        if seed != PAPER_SEED {
+            println!("quick mode with a custom seed: digest check skipped");
+            return;
+        }
+        let fixture_path = workspace_root().join("tests/golden/sweep_n8_json.digest");
+        let fixture = std::fs::read_to_string(&fixture_path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", fixture_path.display()));
+        let fixture = fixture.trim();
+        if digest != fixture {
+            eprintln!(
+                "DIGEST DRIFT: sweep --nodes 8 JSON digest {digest} != committed {fixture}\n\
+                 The simulator's observable behavior changed. If intentional, regenerate\n\
+                 the fixtures (see EXPERIMENTS.md, \"Performance methodology\")."
+            );
+            std::process::exit(1);
+        }
+        println!("digest matches committed fixture ({fixture}) — no behavioral drift");
+        return;
+    }
+
+    let episodes_per_sec = episodes as f64 / wall;
+    let events_per_sec = events as f64 / wall;
+    let rss = peak_rss_bytes();
+    let speedup = episodes_per_sec / BASELINE_EPISODES_PER_SEC;
+    println!(
+        "throughput: {episodes_per_sec:.1} episodes/s, {events_per_sec:.0} events/s, \
+         peak RSS {:.1} MiB",
+        rss as f64 / (1024.0 * 1024.0)
+    );
+    println!(
+        "baseline {BASELINE_COMMIT}: {BASELINE_EPISODES_PER_SEC:.1} episodes/s \
+         ({BASELINE_WALL_SECS:.3}s) -> speedup {speedup:.2}x"
+    );
+
+    // Hand-rendered JSON: the report is flat and the vendored serializer
+    // has no float formatting controls worth fighting here.
+    let out = format!(
+        "{{\n  \"benchmark\": \"BENCH_sim\",\n  \"workload\": \"splash2 x all-configs sweep\",\n  \
+         \"nodes\": {nodes},\n  \"seed\": {seed},\n  \"jobs\": {jobs},\n  \
+         \"wall_secs\": {wall:.3},\n  \"episodes\": {episodes},\n  \
+         \"episodes_per_sec\": {episodes_per_sec:.1},\n  \"events\": {events},\n  \
+         \"events_per_sec\": {events_per_sec:.0},\n  \"peak_rss_bytes\": {rss},\n  \
+         \"report_digest_fnv1a64\": \"{digest}\",\n  \
+         \"baseline\": {{\n    \"commit\": \"{BASELINE_COMMIT}\",\n    \
+         \"episodes_per_sec\": {BASELINE_EPISODES_PER_SEC},\n    \
+         \"wall_secs\": {BASELINE_WALL_SECS}\n  }},\n  \
+         \"speedup_vs_baseline\": {speedup:.2}\n}}\n"
+    );
+    let path = std::env::var("TB_BENCH_OUT")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| workspace_root().join("BENCH_sim.json"));
+    std::fs::write(&path, out).unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+    println!("wrote {}", path.display());
+}

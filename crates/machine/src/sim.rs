@@ -359,11 +359,15 @@ impl Simulator {
         let step = self.procs[tid].step;
         let dirty = self.trace.steps[step].dirty_lines;
         // Rewrite the working set; the access latencies extend the compute
-        // segment (this is where post-flush upgrade misses hurt).
+        // segment (this is where post-flush upgrade misses hurt). The dirty
+        // lines are consecutive (`dirty_addr` strides one line at a time
+        // through the thread's pages), so the whole rewrite goes through the
+        // substrate's batched run entry point.
         let mut t = now;
-        for i in 0..dirty {
-            let a = self.dirty_addr(tid, i);
-            t = self.mem.write(node, a, t).completion;
+        if dirty > 0 {
+            t = self
+                .mem
+                .write_line_run(node, self.dirty_addr(tid, 0), dirty, t);
         }
         // Check in: serialized lock + count update over coherence.
         let grant = t.max(self.lock_free_at);

@@ -198,6 +198,11 @@ impl MemLayout {
         let addr = line.base_addr();
         if let Some(owner) = addr.private_owner() {
             owner
+        } else if self.nodes.is_power_of_two() {
+            // Every transaction past the L2 computes its home, so avoid
+            // the integer division in the (universal in practice)
+            // power-of-two case; the bus substrate permits other sizes.
+            NodeId((addr.page() & (self.nodes as u64 - 1)) as u16)
         } else {
             NodeId((addr.page() % self.nodes as u64) as u16)
         }

@@ -23,10 +23,10 @@
 
 use crate::addr::{Addr, LineAddr, MemLayout, NodeId};
 use crate::cache::{Cache, CacheConfig, Evicted};
+use crate::dir::Directory;
 use crate::mesi::{DirState, LineState, SharerSet};
 use crate::system::{Access, AccessClass, FlushOutcome, Invalidation, MemStats};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::fmt;
 use tb_sim::Cycles;
 
@@ -102,9 +102,11 @@ pub struct BusMemorySystem {
     cfg: BusConfig,
     layout: MemLayout,
     nodes: Vec<NodeCaches>,
-    lines: HashMap<LineAddr, DirState>,
+    lines: Directory,
     bus_free_at: Cycles,
     stats: MemStats,
+    /// Reusable buffer for [`BusMemorySystem::flush_dirty_shared`].
+    flush_scratch: Vec<LineAddr>,
 }
 
 impl BusMemorySystem {
@@ -121,9 +123,10 @@ impl BusMemorySystem {
             cfg,
             layout,
             nodes,
-            lines: HashMap::new(),
+            lines: Directory::new(),
             bus_free_at: Cycles::ZERO,
             stats: MemStats::default(),
+            flush_scratch: Vec::new(),
         }
     }
 
@@ -145,7 +148,7 @@ impl BusMemorySystem {
 
     /// Sharing state of a line (for tests).
     pub fn line_state(&self, line: LineAddr) -> DirState {
-        self.lines.get(&line).copied().unwrap_or_default()
+        self.lines.get(line)
     }
 
     /// Cache state at a node without LRU perturbation.
@@ -235,7 +238,7 @@ impl BusMemorySystem {
         let completion = grant + occupancy;
         let mut holders = state.holders();
         holders.insert(node);
-        self.lines.insert(
+        self.lines.set(
             line,
             if new_cache_state == LineState::Exclusive {
                 DirState::Exclusive(node)
@@ -257,10 +260,9 @@ impl BusMemorySystem {
         self.stats.writes += 1;
         let line = addr.line();
         let nc = &mut self.nodes[node.index()];
-        let l1 = nc.l1.access(line);
+        let l1 = nc.l1.write_access(line);
         if l1.can_write_silently() {
             self.stats.l1_hits += 1;
-            nc.l1.set_state(line, LineState::Modified);
             return Access {
                 completion: now + self.cfg.l1_round_trip,
                 class: AccessClass::L1Hit,
@@ -268,11 +270,23 @@ impl BusMemorySystem {
                 invalidations: Vec::new(),
             };
         }
+        self.write_after_l1(node, line, l1, now)
+    }
+
+    /// The non-silent remainder of [`write`](Self::write), entered after the
+    /// L1 probe (whose LRU bump already happened) returned `l1`.
+    fn write_after_l1(
+        &mut self,
+        node: NodeId,
+        line: LineAddr,
+        l1: LineState,
+        now: Cycles,
+    ) -> Access {
+        let nc = &mut self.nodes[node.index()];
         if !l1.is_valid() {
-            let l2 = nc.l2.access(line);
+            let l2 = nc.l2.write_access(line);
             if l2.can_write_silently() {
                 self.stats.l2_hits += 1;
-                nc.l2.set_state(line, LineState::Modified);
                 self.fill_l1(node, line, LineState::Modified);
                 return Access {
                     completion: now + self.cfg.l2_round_trip,
@@ -320,7 +334,7 @@ impl BusMemorySystem {
             self.stats.cache_to_cache += 1;
             self.stats.writebacks += 1;
         }
-        self.lines.insert(line, DirState::Exclusive(node));
+        self.lines.set(line, DirState::Exclusive(node));
         self.fill_both(node, line, LineState::Modified);
         Access {
             completion,
@@ -336,42 +350,60 @@ impl BusMemorySystem {
         }
     }
 
+    /// Performs `lines` back-to-back writes to consecutive cache lines
+    /// starting at `base`, chaining completions, exactly as if
+    /// [`write`](Self::write) were called once per line (see the directory
+    /// substrate's `write_line_run` for rationale).
+    pub fn write_line_run(&mut self, node: NodeId, base: Addr, lines: u32, now: Cycles) -> Cycles {
+        let mut t = now;
+        for i in 0..lines as u64 {
+            let line = base.offset(i * crate::addr::LINE_BYTES).line();
+            self.stats.writes += 1;
+            let nc = &mut self.nodes[node.index()];
+            let l1 = nc.l1.write_access(line);
+            if l1.can_write_silently() {
+                self.stats.l1_hits += 1;
+                t += self.cfg.l1_round_trip;
+            } else {
+                t = self.write_after_l1(node, line, l1, t).completion;
+            }
+        }
+        t
+    }
+
     /// Flushes `node`'s dirty shared lines over the bus (each write-back
     /// occupies a data phase).
     pub fn flush_dirty_shared(&mut self, node: NodeId, now: Cycles) -> FlushOutcome {
-        let nc = &mut self.nodes[node.index()];
-        let mut lines: Vec<LineAddr> = nc
-            .l1
-            .dirty_lines()
-            .into_iter()
-            .chain(nc.l2.dirty_lines())
-            .filter(|l| !l.base_addr().is_private())
-            .collect();
+        // Same scratch-buffer flush path as the directory substrate.
+        let mut lines = std::mem::take(&mut self.flush_scratch);
+        lines.clear();
+        let nc = &self.nodes[node.index()];
+        nc.l1.dirty_lines_into(&mut lines);
+        nc.l2.dirty_lines_into(&mut lines);
+        lines.retain(|l| !l.base_addr().is_private());
         lines.sort_unstable();
         lines.dedup();
         let mut end = now + self.cfg.l2_round_trip;
         for &line in &lines {
             let nc = &mut self.nodes[node.index()];
-            if nc.l1.probe(line).is_dirty() {
-                nc.l1.set_state(line, LineState::Shared);
-            }
-            if nc.l2.probe(line).is_valid() {
-                nc.l2.set_state(line, LineState::Shared);
-            } else {
+            nc.l1.make_shared_if_dirty(line);
+            if !nc.l2.set_state(line, LineState::Shared) {
                 nc.l2.insert(line, LineState::Shared);
             }
             self.lines
-                .insert(line, DirState::Shared(SharerSet::singleton(node)));
+                .set(line, DirState::Shared(SharerSet::singleton(node)));
             let grant = self.bus_grant(end, self.cfg.data_transfer);
             end = grant + self.cfg.data_transfer;
             self.stats.writebacks += 1;
         }
         self.stats.flushes += 1;
         self.stats.flushed_lines += lines.len() as u64;
-        FlushOutcome {
+        let outcome = FlushOutcome {
             lines: lines.len(),
             duration: end.saturating_sub(now),
-        }
+        };
+        self.flush_scratch = lines;
+        outcome
     }
 
     fn fill_l1(&mut self, node: NodeId, line: LineAddr, state: LineState) {
@@ -408,7 +440,7 @@ impl BusMemorySystem {
         self.stats.writebacks += 1;
         if let DirState::Exclusive(owner) = self.line_state(line) {
             if owner == node {
-                self.lines.insert(line, DirState::Uncached);
+                self.lines.set(line, DirState::Uncached);
             }
         }
     }
@@ -416,11 +448,11 @@ impl BusMemorySystem {
     fn drop_holder(&mut self, node: NodeId, line: LineAddr) {
         match self.line_state(line) {
             DirState::Exclusive(owner) if owner == node => {
-                self.lines.insert(line, DirState::Uncached);
+                self.lines.set(line, DirState::Uncached);
             }
             DirState::Shared(s) => {
                 let s = s.without(node);
-                self.lines.insert(
+                self.lines.set(
                     line,
                     if s.is_empty() {
                         DirState::Uncached

@@ -9,8 +9,19 @@
 //! values (such as the barrier flag's sense) separately, so no data payload
 //! is simulated. [`Cache::dirty_lines`] enumerates Modified lines, which is
 //! what a CPU must flush before entering a non-snoopable sleep state.
+//!
+//! # Layout
+//!
+//! The ways are stored as one flat `Vec<Way>` of length `sets × assoc`,
+//! with set `s` occupying the contiguous slice
+//! `[s * assoc, (s + 1) * assoc)`. Empty slots are marked
+//! [`LineState::Invalid`] in place, so a lookup is a short inline scan over
+//! at most `assoc` contiguous entries — no per-set `Vec` headers, no
+//! pointer chase, no allocation after construction. The set count is a
+//! power of two (asserted by [`CacheConfig::new`]), so the set index is a
+//! bit-mask rather than a division.
 
-use crate::addr::{LineAddr, LINE_BYTES};
+use crate::addr::{Addr, LineAddr, LINE_BYTES};
 use crate::mesi::LineState;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -69,6 +80,8 @@ impl CacheConfig {
     }
 }
 
+/// One slot of the flat way array. `state == Invalid` marks an empty slot;
+/// `line`/`last_used` are meaningless then.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct Way {
     line: LineAddr,
@@ -76,11 +89,31 @@ struct Way {
     last_used: u64,
 }
 
+impl Way {
+    fn empty() -> Self {
+        Way {
+            line: Addr::new(0).line(),
+            state: LineState::Invalid,
+            last_used: 0,
+        }
+    }
+
+    fn holds(&self, line: LineAddr) -> bool {
+        self.state.is_valid() && self.line == line
+    }
+}
+
 /// A single cache level.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Cache {
     config: CacheConfig,
-    sets: Vec<Vec<Way>>,
+    /// `sets × assoc` slots; set `s` is the slice `[s*assoc, (s+1)*assoc)`.
+    ways: Vec<Way>,
+    /// `sets - 1`: power-of-two set count makes the index a mask.
+    set_mask: u64,
+    assoc: usize,
+    /// Valid (non-`Invalid`) slots, kept incrementally so `len()` is O(1).
+    valid: usize,
     tick: u64,
 }
 
@@ -96,10 +129,14 @@ pub struct Evicted {
 impl Cache {
     /// Creates an empty cache.
     pub fn new(config: CacheConfig) -> Self {
-        let sets = (0..config.sets()).map(|_| Vec::new()).collect();
+        let sets = config.sets();
+        let assoc = config.associativity as usize;
         Cache {
             config,
-            sets,
+            ways: vec![Way::empty(); sets as usize * assoc],
+            set_mask: sets - 1,
+            assoc,
+            valid: 0,
             tick: 0,
         }
     }
@@ -109,21 +146,32 @@ impl Cache {
         &self.config
     }
 
-    fn set_index(&self, line: LineAddr) -> usize {
+    /// First slot of `line`'s set in the flat way array.
+    fn set_base(&self, line: LineAddr) -> usize {
         // Mix the high bits in so private-region lines (which share high
-        // tag bits) spread across sets.
+        // tag bits) spread across sets. Set count is a power of two, so
+        // the modulo is a mask.
         let raw = line.as_u64();
         let mixed = raw ^ (raw >> 32);
-        (mixed % self.config.sets()) as usize
+        (mixed & self.set_mask) as usize * self.assoc
+    }
+
+    fn set(&self, line: LineAddr) -> &[Way] {
+        let base = self.set_base(line);
+        &self.ways[base..base + self.assoc]
+    }
+
+    fn set_mut(&mut self, line: LineAddr) -> &mut [Way] {
+        let base = self.set_base(line);
+        &mut self.ways[base..base + self.assoc]
     }
 
     /// The state of `line`, updating LRU recency. `Invalid` if absent.
     pub fn access(&mut self, line: LineAddr) -> LineState {
         self.tick += 1;
         let tick = self.tick;
-        let set = self.set_index(line);
-        for way in &mut self.sets[set] {
-            if way.line == line {
+        for way in self.set_mut(line) {
+            if way.holds(line) {
                 way.last_used = tick;
                 return way.state;
             }
@@ -131,12 +179,49 @@ impl Cache {
         LineState::Invalid
     }
 
+    /// One-scan write probe: behaves like [`Cache::access`] (LRU bump,
+    /// tick advance) and *additionally* performs the silent-write upgrade
+    /// in the same pass when the line is writable without coherence
+    /// (`Modified`/`Exclusive` — see [`LineState::can_write_silently`]).
+    ///
+    /// Returns the state **before** the upgrade, so the caller's decision
+    /// logic is unchanged: `can_write_silently()` on the returned state
+    /// means the write has already been applied. Equivalent to
+    /// `access(line)` followed by `set_state(line, Modified)` on the
+    /// silent path — one tag scan instead of two.
+    pub fn write_access(&mut self, line: LineAddr) -> LineState {
+        self.tick += 1;
+        let tick = self.tick;
+        for way in self.set_mut(line) {
+            if way.holds(line) {
+                way.last_used = tick;
+                let before = way.state;
+                if before.can_write_silently() {
+                    way.state = LineState::Modified;
+                }
+                return before;
+            }
+        }
+        LineState::Invalid
+    }
+
+    /// One-scan flush helper: downgrades the line to `Shared` only if it
+    /// is resident **and dirty**. Equivalent to `probe(line).is_dirty()`
+    /// then `set_state(line, Shared)`; clean or absent copies (e.g. an L1
+    /// `Exclusive` copy of a line dirty only in the L2) are untouched.
+    pub fn make_shared_if_dirty(&mut self, line: LineAddr) {
+        if let Some(way) = self.set_mut(line).iter_mut().find(|w| w.holds(line)) {
+            if way.state.is_dirty() {
+                way.state = LineState::Shared;
+            }
+        }
+    }
+
     /// The state of `line` without touching LRU state (a coherence probe).
     pub fn probe(&self, line: LineAddr) -> LineState {
-        let set = self.set_index(line);
-        self.sets[set]
+        self.set(line)
             .iter()
-            .find(|w| w.line == line)
+            .find(|w| w.holds(line))
             .map(|w| w.state)
             .unwrap_or(LineState::Invalid)
     }
@@ -151,28 +236,36 @@ impl Cache {
         assert!(state.is_valid(), "cannot insert a line in Invalid state");
         self.tick += 1;
         let tick = self.tick;
-        let set_idx = self.set_index(line);
-        let assoc = self.config.associativity as usize;
-        let set = &mut self.sets[set_idx];
-        if let Some(way) = set.iter_mut().find(|w| w.line == line) {
-            way.state = state;
-            way.last_used = tick;
-            return None;
+        let set = self.set_mut(line);
+        let mut free: Option<usize> = None;
+        let mut victim_idx = 0;
+        let mut victim_used = u64::MAX;
+        for (i, way) in set.iter_mut().enumerate() {
+            if way.holds(line) {
+                way.state = state;
+                way.last_used = tick;
+                return None;
+            }
+            if !way.state.is_valid() {
+                if free.is_none() {
+                    free = Some(i);
+                }
+            } else if way.last_used < victim_used {
+                // `last_used` ticks are unique (tick advances on every
+                // access/insert), so the LRU victim is unambiguous.
+                victim_used = way.last_used;
+                victim_idx = i;
+            }
         }
-        if set.len() < assoc {
-            set.push(Way {
+        if let Some(i) = free {
+            set[i] = Way {
                 line,
                 state,
                 last_used: tick,
-            });
+            };
+            self.valid += 1;
             return None;
         }
-        let victim_idx = set
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, w)| w.last_used)
-            .map(|(i, _)| i)
-            .expect("full set is non-empty");
         let victim = &mut set[victim_idx];
         let evicted = Evicted {
             line: victim.line,
@@ -190,8 +283,7 @@ impl Cache {
     /// the line is absent.
     pub fn set_state(&mut self, line: LineAddr, state: LineState) -> bool {
         assert!(state.is_valid(), "use invalidate to drop a line");
-        let set = self.set_index(line);
-        if let Some(way) = self.sets[set].iter_mut().find(|w| w.line == line) {
+        if let Some(way) = self.set_mut(line).iter_mut().find(|w| w.holds(line)) {
             way.state = state;
             true
         } else {
@@ -201,57 +293,74 @@ impl Cache {
 
     /// Removes `line`; returns its prior state if it was present.
     pub fn invalidate(&mut self, line: LineAddr) -> Option<LineState> {
-        let set = self.set_index(line);
-        let pos = self.sets[set].iter().position(|w| w.line == line)?;
-        Some(self.sets[set].swap_remove(pos).state)
+        let way = self.set_mut(line).iter_mut().find(|w| w.holds(line))?;
+        let prior = way.state;
+        way.state = LineState::Invalid;
+        self.valid -= 1;
+        Some(prior)
     }
 
     /// All lines currently in `Modified` state — what a deep-sleep entry
-    /// must flush.
+    /// must flush. Sorted; allocates. The flush hot path uses
+    /// [`Cache::dirty_lines_into`] instead.
     pub fn dirty_lines(&self) -> Vec<LineAddr> {
-        let mut out: Vec<LineAddr> = self
-            .sets
-            .iter()
-            .flatten()
-            .filter(|w| w.state.is_dirty())
-            .map(|w| w.line)
-            .collect();
+        let mut out = Vec::new();
+        self.dirty_lines_into(&mut out);
         out.sort_unstable();
         out
     }
 
+    /// Appends all `Modified` lines to `out` without sorting — the
+    /// allocation-free flush path. Callers that need deterministic order
+    /// sort once after collecting from every level.
+    pub fn dirty_lines_into(&self, out: &mut Vec<LineAddr>) {
+        out.extend(
+            self.ways
+                .iter()
+                .filter(|w| w.state.is_dirty())
+                .map(|w| w.line),
+        );
+    }
+
     /// All valid lines, for invariant checks.
     pub fn resident_lines(&self) -> Vec<(LineAddr, LineState)> {
-        let mut out: Vec<(LineAddr, LineState)> = self
-            .sets
-            .iter()
-            .flatten()
-            .map(|w| (w.line, w.state))
-            .collect();
+        let mut out = Vec::new();
+        self.resident_lines_into(&mut out);
         out.sort_unstable_by_key(|(l, _)| *l);
         out
     }
 
+    /// Appends all valid lines to `out` without sorting.
+    pub fn resident_lines_into(&self, out: &mut Vec<(LineAddr, LineState)>) {
+        out.extend(
+            self.ways
+                .iter()
+                .filter(|w| w.state.is_valid())
+                .map(|w| (w.line, w.state)),
+        );
+    }
+
     /// Number of valid lines resident.
     pub fn len(&self) -> usize {
-        self.sets.iter().map(|s| s.len()).sum()
+        self.valid
     }
 
     /// `true` when the cache holds no lines.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.valid == 0
     }
 }
 
 impl fmt::Display for Cache {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let dirty = self.ways.iter().filter(|w| w.state.is_dirty()).count();
         write!(
             f,
             "{}B {}-way: {} lines resident ({} dirty)",
             self.config.size_bytes,
             self.config.associativity,
             self.len(),
-            self.dirty_lines().len()
+            dirty
         )
     }
 }
@@ -361,6 +470,20 @@ mod tests {
         c.probe(line(0)); // must NOT refresh line 0
         let ev = c.insert(line(2), LineState::Shared).unwrap();
         assert_eq!(ev.line, line(0), "probe must not count as a use");
+    }
+
+    #[test]
+    fn invalidated_slot_is_reused_before_eviction() {
+        let cfg = CacheConfig::new(64 * 2, 2); // 1 set, 2-way
+        let mut c = Cache::new(cfg);
+        c.insert(line(0), LineState::Shared);
+        c.insert(line(1), LineState::Shared);
+        c.invalidate(line(0));
+        // The set has a free slot again: no eviction on the next insert.
+        assert!(c.insert(line(2), LineState::Shared).is_none());
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.probe(line(1)), LineState::Shared);
+        assert_eq!(c.probe(line(2)), LineState::Shared);
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod addr;
 pub mod backend;
 pub mod bus;
 pub mod cache;
+pub mod dir;
 pub mod mesi;
 pub mod network;
 pub mod system;
@@ -48,6 +49,7 @@ pub use addr::{Addr, LineAddr, MemLayout, NodeId};
 pub use backend::CoherentMemory;
 pub use bus::{BusConfig, BusMemorySystem};
 pub use cache::{Cache, CacheConfig};
+pub use dir::Directory;
 pub use mesi::{DirState, LineState, SharerSet};
 pub use network::Hypercube;
 pub use system::{

@@ -101,11 +101,20 @@ impl SharerSet {
     }
 
     /// Iterates members in increasing node order.
+    ///
+    /// Walks set bits with `trailing_zeros`, so iteration cost scales with
+    /// the population, not the 64-bit width — the common fan-out over one
+    /// or two sharers touches one or two bits, not 64 candidates.
     pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
-        let bits = self.0;
-        (0..64u16)
-            .filter(move |i| bits & (1 << i) != 0)
-            .map(NodeId::new)
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                return None;
+            }
+            let i = bits.trailing_zeros() as u16;
+            bits &= bits - 1;
+            Some(NodeId::new(i))
+        })
     }
 
     /// The set without `node` (used to exclude the requester when fanning

@@ -26,10 +26,10 @@
 
 use crate::addr::{Addr, LineAddr, MemLayout, NodeId};
 use crate::cache::{Cache, CacheConfig, Evicted};
+use crate::dir::Directory;
 use crate::mesi::{DirState, LineState, SharerSet};
 use crate::network::Hypercube;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::fmt;
 use tb_sim::Cycles;
 
@@ -169,7 +169,7 @@ pub struct FlushOutcome {
 }
 
 /// Aggregate event counts.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MemStats {
     /// Total read accesses.
     pub reads: u64,
@@ -206,8 +206,11 @@ pub struct MemorySystem {
     layout: MemLayout,
     net: Hypercube,
     nodes: Vec<NodeCaches>,
-    dir: HashMap<LineAddr, DirState>,
+    dir: Directory,
     stats: MemStats,
+    /// Reusable buffer for [`MemorySystem::flush_dirty_shared`], so the
+    /// per-sleep-transition flush allocates nothing in steady state.
+    flush_scratch: Vec<LineAddr>,
 }
 
 impl MemorySystem {
@@ -226,8 +229,9 @@ impl MemorySystem {
             layout,
             net,
             nodes,
-            dir: HashMap::new(),
+            dir: Directory::new(),
             stats: MemStats::default(),
+            flush_scratch: Vec::new(),
         }
     }
 
@@ -253,7 +257,7 @@ impl MemorySystem {
 
     /// Directory state of a line (for tests and invariant checks).
     pub fn dir_state(&self, line: LineAddr) -> DirState {
-        self.dir.get(&line).copied().unwrap_or_default()
+        self.dir.get(line)
     }
 
     /// The per-level cache states of `line` at `node` (L1, L2), without
@@ -311,11 +315,13 @@ impl MemorySystem {
     pub fn write(&mut self, node: NodeId, addr: Addr, now: Cycles) -> Access {
         self.stats.writes += 1;
         let line = addr.line();
+        // Silent-write fast path: a line held Modified or Exclusive can be
+        // written without consulting the directory at all, so the compute
+        // phase's working-set rewrite stays entirely inside the node.
         let nc = &mut self.nodes[node.index()];
-        let l1 = nc.l1.access(line);
+        let l1 = nc.l1.write_access(line);
         if l1.can_write_silently() {
             self.stats.l1_hits += 1;
-            nc.l1.set_state(line, LineState::Modified);
             return Access {
                 completion: now + self.cfg.l1_round_trip,
                 class: AccessClass::L1Hit,
@@ -323,11 +329,23 @@ impl MemorySystem {
                 invalidations: Vec::new(),
             };
         }
+        self.write_after_l1(node, line, l1, now)
+    }
+
+    /// The non-silent remainder of [`write`](Self::write), entered after the
+    /// L1 probe (whose LRU bump already happened) returned `l1`.
+    fn write_after_l1(
+        &mut self,
+        node: NodeId,
+        line: LineAddr,
+        l1: LineState,
+        now: Cycles,
+    ) -> Access {
+        let nc = &mut self.nodes[node.index()];
         if !l1.is_valid() {
-            let l2 = nc.l2.access(line);
+            let l2 = nc.l2.write_access(line);
             if l2.can_write_silently() {
                 self.stats.l2_hits += 1;
-                nc.l2.set_state(line, LineState::Modified);
                 self.fill_l1(node, line, LineState::Modified);
                 return Access {
                     completion: now + self.cfg.l2_round_trip,
@@ -344,6 +362,33 @@ impl MemorySystem {
         self.upgrade(node, line, now)
     }
 
+    /// Performs `lines` back-to-back writes to consecutive cache lines
+    /// starting at `base`, chaining each write's completion into the next
+    /// write's issue time, and returns the final completion.
+    ///
+    /// This is the compute phase's working-set rewrite loop, pulled below
+    /// the dispatch layer: the (overwhelmingly common) silent-write case is
+    /// decided right here from the L1 probe, without materializing an
+    /// [`Access`] per line. The sequence of coherence actions — and thus
+    /// every timestamp and counter — is identical to calling
+    /// [`write`](Self::write) once per line.
+    pub fn write_line_run(&mut self, node: NodeId, base: Addr, lines: u32, now: Cycles) -> Cycles {
+        let mut t = now;
+        for i in 0..lines as u64 {
+            let line = base.offset(i * crate::addr::LINE_BYTES).line();
+            self.stats.writes += 1;
+            let nc = &mut self.nodes[node.index()];
+            let l1 = nc.l1.write_access(line);
+            if l1.can_write_silently() {
+                self.stats.l1_hits += 1;
+                t += self.cfg.l1_round_trip;
+            } else {
+                t = self.write_after_l1(node, line, l1, t).completion;
+            }
+        }
+        t
+    }
+
     /// Flushes `node`'s dirty **shared** lines to their homes, as required
     /// before entering a sleep state whose cache cannot service coherence
     /// requests (§3.1). Dirty copies are retained clean (the supply voltage
@@ -352,25 +397,23 @@ impl MemorySystem {
     /// later invalidations on the sleeping CPU's behalf.
     pub fn flush_dirty_shared(&mut self, node: NodeId, now: Cycles) -> FlushOutcome {
         let _ = now;
-        let nc = &mut self.nodes[node.index()];
-        let mut lines: Vec<LineAddr> = nc
-            .l1
-            .dirty_lines()
-            .into_iter()
-            .chain(nc.l2.dirty_lines())
-            .filter(|l| !l.base_addr().is_private())
-            .collect();
+        // Reuse the scratch buffer: after warm-up, collecting the dirty
+        // set allocates nothing. Filter + sort + dedup matches the old
+        // collect-then-sort behavior exactly (sorting makes the combined
+        // L1/L2 order irrelevant).
+        let mut lines = std::mem::take(&mut self.flush_scratch);
+        lines.clear();
+        let nc = &self.nodes[node.index()];
+        nc.l1.dirty_lines_into(&mut lines);
+        nc.l2.dirty_lines_into(&mut lines);
+        lines.retain(|l| !l.base_addr().is_private());
         lines.sort_unstable();
         lines.dedup();
         let mut farthest = Cycles::ZERO;
         for &line in &lines {
             let nc = &mut self.nodes[node.index()];
-            if nc.l1.probe(line).is_dirty() {
-                nc.l1.set_state(line, LineState::Shared);
-            }
-            if nc.l2.probe(line).is_valid() {
-                nc.l2.set_state(line, LineState::Shared);
-            } else {
+            nc.l1.make_shared_if_dirty(line);
+            if !nc.l2.set_state(line, LineState::Shared) {
                 // Dirty only in L1 (inclusion broken by an L2 upgrade race
                 // cannot happen in this model, but keep the copy coherent).
                 nc.l2.insert(line, LineState::Shared);
@@ -378,7 +421,7 @@ impl MemorySystem {
             let home = self.layout.home_of(line);
             farthest = farthest.max(self.net.line_latency(node, home));
             self.dir
-                .insert(line, DirState::Shared(SharerSet::singleton(node)));
+                .set(line, DirState::Shared(SharerSet::singleton(node)));
             self.stats.writebacks += 1;
         }
         self.stats.flushes += 1;
@@ -390,10 +433,12 @@ impl MemorySystem {
             // + the tail message reaching the farthest home involved.
             self.cfg.l2_round_trip + self.cfg.mem_transfer * lines.len() as u64 + farthest
         };
-        FlushOutcome {
+        let outcome = FlushOutcome {
             lines: lines.len(),
             duration,
-        }
+        };
+        self.flush_scratch = lines;
+        outcome
     }
 
     // ----- internal helpers ------------------------------------------------
@@ -444,7 +489,7 @@ impl MemorySystem {
         self.stats.writebacks += 1;
         match self.dir_state(line) {
             DirState::Exclusive(owner) if owner == node => {
-                self.dir.insert(line, DirState::Uncached);
+                self.dir.set(line, DirState::Uncached);
             }
             other => panic!("write-back of {line} from {node} but directory says {other}"),
         }
@@ -454,11 +499,11 @@ impl MemorySystem {
     fn drop_clean_holder(&mut self, node: NodeId, line: LineAddr) {
         match self.dir_state(line) {
             DirState::Exclusive(owner) if owner == node => {
-                self.dir.insert(line, DirState::Uncached);
+                self.dir.set(line, DirState::Uncached);
             }
             DirState::Shared(s) => {
                 let s = s.without(node);
-                self.dir.insert(
+                self.dir.set(
                     line,
                     if s.is_empty() {
                         DirState::Uncached
@@ -481,7 +526,7 @@ impl MemorySystem {
             DirState::Uncached => {
                 let t_data = t_home + self.cfg.mem_access + self.cfg.mem_transfer;
                 let completion = t_data + self.net.line_latency(home, node);
-                self.dir.insert(line, DirState::Exclusive(node));
+                self.dir.set(line, DirState::Exclusive(node));
                 self.fill_both(node, line, LineState::Exclusive);
                 Access {
                     completion,
@@ -503,7 +548,7 @@ impl MemorySystem {
                 let completion = t_data + self.net.line_latency(home, node);
                 let mut s = s;
                 s.insert(node);
-                self.dir.insert(line, DirState::Shared(s));
+                self.dir.set(line, DirState::Shared(s));
                 self.fill_both(node, line, LineState::Shared);
                 Access {
                     completion,
@@ -536,7 +581,7 @@ impl MemorySystem {
                     self.stats.writebacks += 1; // sharing write-back to home
                 }
                 let holders: SharerSet = [owner, node].into_iter().collect();
-                self.dir.insert(line, DirState::Shared(holders));
+                self.dir.set(line, DirState::Shared(holders));
                 self.fill_both(node, line, LineState::Shared);
                 Access {
                     completion,
@@ -556,7 +601,7 @@ impl MemorySystem {
             DirState::Uncached => {
                 let t_data = t_home + self.cfg.mem_access + self.cfg.mem_transfer;
                 let completion = t_data + self.net.line_latency(home, node);
-                self.dir.insert(line, DirState::Exclusive(node));
+                self.dir.set(line, DirState::Exclusive(node));
                 self.fill_both(node, line, LineState::Modified);
                 Access {
                     completion,
@@ -576,7 +621,7 @@ impl MemorySystem {
                 let t_data = t_home + self.cfg.mem_access + self.cfg.mem_transfer;
                 let t_grant = t_data + self.net.line_latency(home, node);
                 let completion = t_grant.max(last_ack);
-                self.dir.insert(line, DirState::Exclusive(node));
+                self.dir.set(line, DirState::Exclusive(node));
                 self.fill_both(node, line, LineState::Modified);
                 Access {
                     completion,
@@ -604,7 +649,7 @@ impl MemorySystem {
                     at: t_owner,
                 }];
                 self.stats.invalidations_sent += 1;
-                self.dir.insert(line, DirState::Exclusive(node));
+                self.dir.set(line, DirState::Exclusive(node));
                 self.fill_both(node, line, LineState::Modified);
                 Access {
                     completion,
@@ -631,16 +676,12 @@ impl MemorySystem {
             self.fan_out_invalidations(node, line, home, t_home, targets);
         let t_grant = t_home + self.net.control_latency(home, node);
         let completion = t_grant.max(last_ack).max(now + self.cfg.l1_round_trip);
-        self.dir.insert(line, DirState::Exclusive(node));
+        self.dir.set(line, DirState::Exclusive(node));
         let nc = &mut self.nodes[node.index()];
-        if nc.l2.probe(line).is_valid() {
-            nc.l2.set_state(line, LineState::Modified);
-        } else {
+        if !nc.l2.set_state(line, LineState::Modified) {
             nc.l2.insert(line, LineState::Modified);
         }
-        if nc.l1.probe(line).is_valid() {
-            nc.l1.set_state(line, LineState::Modified);
-        } else {
+        if !nc.l1.set_state(line, LineState::Modified) {
             self.fill_l1(node, line, LineState::Modified);
         }
         Access {
@@ -901,8 +942,8 @@ mod tests {
         }
         for (line, state) in m.dir.iter() {
             if let DirState::Exclusive(owner) = state {
-                if *owner == n(0) {
-                    assert!(resident.contains(line), "directory stale for {line}");
+                if owner == n(0) {
+                    assert!(resident.contains(&line), "directory stale for {line}");
                 }
             }
         }

@@ -1,0 +1,68 @@
+//! Property-based test of the two-tier [`Directory`]: on any trace of
+//! `set`/`get` operations over lines spanning the dense window, the
+//! dense/sparse boundary, and far-flung sparse stragglers (including
+//! private-region lines), the directory must behave exactly like the plain
+//! `HashMap<LineAddr, DirState>` it replaced — absent means `Uncached`,
+//! and `iter` enumerates exactly the non-`Uncached` lines.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use tb_mem::{Addr, DirState, Directory, LineAddr, NodeId, SharerSet};
+
+/// Line numbers probing every tier: inside the dense window, hugging the
+/// 65536-line boundary from both sides, deep sparse territory, and the
+/// private-region encoding (bit 63 set on the byte address).
+fn line_strategy() -> impl Strategy<Value = LineAddr> {
+    prop_oneof![
+        4 => 0u64..70_000,                    // dense window + just past it
+        2 => 65_530u64..65_542,               // straddle the boundary
+        1 => (1u64 << 20)..(1u64 << 21),      // far sparse
+        1 => ((1u64 << 57) + 5)..((1u64 << 57) + 64), // private-region lines
+    ]
+    .prop_map(|n| Addr::new(n * 64).line())
+}
+
+fn dir_state_strategy() -> impl Strategy<Value = DirState> {
+    prop_oneof![
+        1 => Just(DirState::Uncached),
+        2 => (0u16..64).prop_map(|n| DirState::Exclusive(NodeId::new(n))),
+        2 => proptest::collection::vec(0u16..64, 1..5).prop_map(|nodes| {
+            DirState::Shared(nodes.into_iter().map(NodeId::new).collect::<SharerSet>())
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn directory_matches_hashmap_reference(
+        ops in proptest::collection::vec((line_strategy(), dir_state_strategy()), 1..200)
+    ) {
+        let mut dir = Directory::new();
+        let mut reference: HashMap<LineAddr, DirState> = HashMap::new();
+        for (line, state) in ops {
+            // Before the write: both agree on the current value.
+            let expect = reference.get(&line).copied().unwrap_or(DirState::Uncached);
+            prop_assert_eq!(dir.get(line), expect, "pre-set disagreement at {}", line);
+            dir.set(line, state);
+            if state == DirState::Uncached {
+                reference.remove(&line);
+            } else {
+                reference.insert(line, state);
+            }
+            prop_assert_eq!(dir.get(line), state, "post-set readback at {}", line);
+        }
+        // Untouched lines in every tier still read Uncached.
+        for probe in [3u64, 65_535, 65_536, 1 << 22, (1 << 57) + 99] {
+            let line = Addr::new(probe * 64).line();
+            if !reference.contains_key(&line) {
+                prop_assert_eq!(dir.get(line), DirState::Uncached);
+            }
+        }
+        // `iter` enumerates exactly the reference's surviving entries.
+        let mut got: Vec<(LineAddr, DirState)> = dir.iter().collect();
+        let mut want: Vec<(LineAddr, DirState)> = reference.into_iter().collect();
+        got.sort_by_key(|(l, _)| l.as_u64());
+        want.sort_by_key(|(l, _)| l.as_u64());
+        prop_assert_eq!(got, want);
+    }
+}

@@ -8,20 +8,103 @@
 //!
 //! Events at the same timestamp are delivered in FIFO scheduling order, so a
 //! simulation that schedules deterministically replays deterministically.
+//!
+//! # Implementation
+//!
+//! Payloads live in a generation-tagged slab (`Vec<Slot<E>>` plus a free
+//! list), so `schedule`/`cancel`/`pop` never hash and, once the slab and
+//! heap have warmed up to the peak number of pending events, never
+//! allocate. The binary heap orders `(time, seq)` keys packed into a
+//! single `u128` (56-bit time, 40-bit sequence, 16-bit slot), so a heap
+//! sift compares and moves one native integer instead of a multi-word
+//! struct. A cancelled event leaves its key behind as a tombstone, which
+//! is dropped lazily. Two mechanisms bound the tombstone population:
+//!
+//! * the heap *top* is kept live after every mutation, so
+//!   [`EventQueue::peek_time`] is a true `&self` peek, and
+//! * when tombstones outnumber live events the heap is compacted in place,
+//!   so a cancel-heavy run cannot grow the heap unboundedly.
 
 use crate::time::Cycles;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 use std::fmt;
 
 /// Opaque handle identifying a scheduled event, returned by
 /// [`EventQueue::schedule`] and accepted by [`EventQueue::cancel`].
+///
+/// Packs the slab slot index and its generation tag, so a handle kept
+/// across its event's delivery (or cancellation) can never alias a later
+/// event that reuses the slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventId(u64);
+
+impl EventId {
+    fn new(slot: u32, gen: u32) -> Self {
+        EventId((gen as u64) << 32 | slot as u64)
+    }
+
+    fn slot(self) -> usize {
+        (self.0 & u32::MAX as u64) as usize
+    }
+
+    fn gen(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
 
 impl fmt::Display for EventId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "event#{}", self.0)
+    }
+}
+
+/// One slab slot: the payload of a pending event, or empty (free or
+/// already delivered/cancelled). The generation tag increments on every
+/// free, invalidating outstanding [`EventId`]s; the pending event's
+/// sequence number is what heap keys are checked against for liveness.
+#[derive(Debug)]
+struct Slot<E> {
+    gen: u32,
+    seq: u64,
+    event: Option<E>,
+}
+
+/// Width of the sequence-number field of a packed [`HeapKey`].
+const SEQ_BITS: u32 = 40;
+/// Width of the slot-index field of a packed [`HeapKey`].
+const SLOT_BITS: u32 = 16;
+/// Width of the time field of a packed [`HeapKey`] (56 bits; the top 16
+/// bits of the `u128` stay zero).
+const AT_BITS: u32 = 56;
+
+/// Heap key: `(time, seq, slot)` packed into one `u128`, highest field
+/// first, so the integer ordering of the packed value *is* the delivery
+/// order `(time, seq)` (`seq` is unique, so the trailing `slot` bits never
+/// decide a comparison — they only ride along to locate the payload).
+/// `schedule` bounds-checks each field against its width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct HeapKey(u128);
+
+impl HeapKey {
+    fn pack(at: Cycles, seq: u64, slot: u32) -> HeapKey {
+        HeapKey(
+            ((at.as_u64() as u128) << (SEQ_BITS + SLOT_BITS))
+                | ((seq as u128) << SLOT_BITS)
+                | slot as u128,
+        )
+    }
+
+    fn at(self) -> Cycles {
+        Cycles::new((self.0 >> (SEQ_BITS + SLOT_BITS)) as u64)
+    }
+
+    fn seq(self) -> u64 {
+        ((self.0 >> SLOT_BITS) & ((1 << SEQ_BITS) - 1)) as u64
+    }
+
+    fn slot(self) -> u32 {
+        (self.0 & ((1 << SLOT_BITS) - 1)) as u32
     }
 }
 
@@ -43,8 +126,10 @@ impl fmt::Display for EventId {
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<(Cycles, u64)>>,
-    live: HashMap<u64, E>,
+    heap: BinaryHeap<Reverse<HeapKey>>,
+    slots: Vec<Slot<E>>,
+    free: Vec<u32>,
+    live: usize,
     next_seq: u64,
     last_popped: Cycles,
 }
@@ -60,7 +145,9 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            live: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
             next_seq: 0,
             last_popped: Cycles::ZERO,
         }
@@ -81,11 +168,92 @@ impl<E> EventQueue<E> {
             "cannot schedule event at {at}, simulation time already at {}",
             self.last_popped
         );
+        assert!(
+            at.as_u64() < 1 << AT_BITS,
+            "event time {at} overflows the queue's {AT_BITS}-bit clock"
+        );
         let seq = self.next_seq;
+        assert!(
+            seq < 1 << SEQ_BITS,
+            "more than 2^{SEQ_BITS} events scheduled on one queue"
+        );
         self.next_seq += 1;
-        self.heap.push(Reverse((at, seq)));
-        self.live.insert(seq, event);
-        EventId(seq)
+        let slot = match self.free.pop() {
+            Some(s) => {
+                let sl = &mut self.slots[s as usize];
+                sl.seq = seq;
+                sl.event = Some(event);
+                s
+            }
+            None => {
+                assert!(
+                    self.slots.len() < 1 << SLOT_BITS,
+                    "more than {} concurrently pending events",
+                    1u32 << SLOT_BITS
+                );
+                let s = self.slots.len() as u32;
+                self.slots.push(Slot {
+                    gen: 0,
+                    seq,
+                    event: Some(event),
+                });
+                s
+            }
+        };
+        let gen = self.slots[slot as usize].gen;
+        self.heap.push(Reverse(HeapKey::pack(at, seq, slot)));
+        self.live += 1;
+        EventId::new(slot, gen)
+    }
+
+    /// `true` if the packed heap key still refers to a pending event: the
+    /// slot must hold a payload whose sequence number matches (a slot
+    /// reused by a later event carries a strictly newer sequence).
+    fn key_is_live(&self, key: HeapKey) -> bool {
+        let s = &self.slots[key.slot() as usize];
+        s.seq == key.seq() && s.event.is_some()
+    }
+
+    /// `true` if `id` still refers to a pending event (handles use the
+    /// generation tag, which survives slot reuse across the full run).
+    fn id_is_live(&self, slot: u32, gen: u32) -> bool {
+        let s = &self.slots[slot as usize];
+        s.gen == gen && s.event.is_some()
+    }
+
+    /// Takes the payload out of a live slot, retiring the slot for reuse.
+    fn retire(&mut self, slot: u32) -> E {
+        let s = &mut self.slots[slot as usize];
+        let ev = s.event.take().expect("retiring a live slot");
+        s.gen = s.gen.wrapping_add(1);
+        self.free.push(slot);
+        self.live -= 1;
+        ev
+    }
+
+    /// Restores the invariant that the heap top (if any) is a live event,
+    /// dropping tombstones left by cancellations.
+    fn drop_dead_top(&mut self) {
+        while let Some(&Reverse(k)) = self.heap.peek() {
+            if self.key_is_live(k) {
+                break;
+            }
+            self.heap.pop();
+        }
+    }
+
+    /// Compacts the heap in place once tombstones outnumber live events,
+    /// bounding memory on cancel-heavy workloads. O(n) rebuild, amortized
+    /// O(1) per cancel.
+    fn maybe_compact(&mut self) {
+        if self.heap.len() >= 64 && self.heap.len() > 2 * self.live {
+            let mut keys = std::mem::take(&mut self.heap).into_vec();
+            keys.retain(|&Reverse(k)| {
+                let s = &self.slots[k.slot() as usize];
+                s.seq == k.seq() && s.event.is_some()
+            });
+            self.heap = BinaryHeap::from(keys);
+        }
     }
 
     /// Cancels a pending event.
@@ -93,46 +261,55 @@ impl<E> EventQueue<E> {
     /// Returns `true` if the event was still pending (and is now dropped),
     /// `false` if it had already been delivered or cancelled.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        self.live.remove(&id.0).is_some()
+        let slot = id.slot();
+        if slot >= self.slots.len() || !self.id_is_live(slot as u32, id.gen()) {
+            return false;
+        }
+        drop(self.retire(slot as u32));
+        self.drop_dead_top();
+        self.maybe_compact();
+        true
     }
 
     /// `true` if the event is still pending.
     pub fn is_pending(&self, id: EventId) -> bool {
-        self.live.contains_key(&id.0)
+        id.slot() < self.slots.len() && self.id_is_live(id.slot() as u32, id.gen())
     }
 
     /// Removes and returns the earliest pending event with its time, or
     /// `None` if the queue is empty.
     pub fn pop(&mut self) -> Option<(Cycles, E)> {
-        while let Some(Reverse((at, seq))) = self.heap.pop() {
-            if let Some(ev) = self.live.remove(&seq) {
+        // The top is live by invariant; the loop is a defensive fallback.
+        while let Some(Reverse(k)) = self.heap.pop() {
+            if self.key_is_live(k) {
+                let ev = self.retire(k.slot());
+                let at = k.at();
                 self.last_popped = at;
+                self.drop_dead_top();
                 return Some((at, ev));
             }
-            // Tombstone from a cancelled event: skip.
         }
         None
     }
 
     /// The delivery time of the earliest pending event, without removing it.
-    pub fn peek_time(&mut self) -> Option<Cycles> {
-        while let Some(&Reverse((at, seq))) = self.heap.peek() {
-            if self.live.contains_key(&seq) {
-                return Some(at);
-            }
-            self.heap.pop();
-        }
-        None
+    pub fn peek_time(&self) -> Option<Cycles> {
+        // Mutations keep the heap top live (see `drop_dead_top`), so this
+        // is a plain peek — no tombstone skipping, no `&mut` needed.
+        self.heap.peek().map(|&Reverse(k)| {
+            debug_assert!(self.key_is_live(k), "heap top must be live");
+            k.at()
+        })
     }
 
     /// Number of pending (non-cancelled) events.
     pub fn len(&self) -> usize {
-        self.live.len()
+        self.live
     }
 
     /// `true` when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.live.is_empty()
+        self.live == 0
     }
 
     /// The delivery time of the most recently popped event — the current
@@ -243,5 +420,133 @@ mod tests {
         assert!(!q.is_pending(external));
         assert!(q.cancel(internal));
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn slot_reuse_does_not_alias_event_ids() {
+        // The generation tag must keep a stale handle from cancelling a
+        // later event that happens to reuse the same slab slot.
+        let mut q = EventQueue::new();
+        let a = q.schedule(Cycles::new(1), "a");
+        assert!(q.cancel(a));
+        let b = q.schedule(Cycles::new(2), "b"); // reuses slot 0
+        assert!(!q.cancel(a), "stale id must not hit the reused slot");
+        assert!(q.is_pending(b));
+        assert_eq!(q.pop(), Some((Cycles::new(2), "b")));
+    }
+
+    #[test]
+    fn peek_and_pop_agree_under_interleaved_cancels() {
+        // Deterministic churn: schedule batches, cancel a pseudo-random
+        // subset (including heap tops), and require that every peek
+        // predicts exactly what pop then delivers.
+        let mut q = EventQueue::new();
+        let mut pending: Vec<(EventId, u64)> = Vec::new();
+        let mut x = 0x2545F4914F6CDD1Du64;
+        let mut rng = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        let mut expected: Vec<(u64, u64)> = Vec::new(); // (time, payload)
+        for round in 0..50u64 {
+            for i in 0..20u64 {
+                let t = q.now().as_u64() + 1 + rng() % 97;
+                let payload = round * 1000 + i;
+                let id = q.schedule(Cycles::new(t), payload);
+                pending.push((id, payload));
+            }
+            // Cancel roughly half, in shuffled order.
+            pending.retain(|&(id, _)| {
+                if rng() % 2 == 0 {
+                    assert!(q.cancel(id));
+                    false
+                } else {
+                    true
+                }
+            });
+            // Drain a few: peek must always agree with the next pop.
+            for _ in 0..5 {
+                let peeked = q.peek_time();
+                let popped = q.pop();
+                match (peeked, popped) {
+                    (Some(pt), Some((t, payload))) => {
+                        assert_eq!(pt, t, "peek promised {pt}, pop delivered {t}");
+                        pending.retain(|&(_, p)| p != payload);
+                        expected.push((t.as_u64(), payload));
+                    }
+                    (None, None) => {}
+                    (p, q) => panic!("peek {p:?} disagrees with pop {q:?}"),
+                }
+            }
+            assert_eq!(q.len(), pending.len());
+        }
+        // Drain the remainder; delivery must be time-ordered throughout.
+        while let Some((t, payload)) = q.pop() {
+            expected.push((t.as_u64(), payload));
+        }
+        for w in expected.windows(2) {
+            assert!(w[0].0 <= w[1].0, "out-of-order delivery: {w:?}");
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn cancel_heavy_churn_keeps_heap_bounded() {
+        // A cancel-heavy workload (every event cancelled, none popped)
+        // previously grew the heap without bound; compaction caps it at a
+        // small multiple of the live population.
+        let mut q = EventQueue::new();
+        let mut keep: Vec<EventId> = (0..32)
+            .map(|i| q.schedule(Cycles::new(1_000_000 + i), i))
+            .collect();
+        for i in 0..100_000u64 {
+            let id = q.schedule(Cycles::new(2000 + i), i);
+            assert!(q.cancel(id));
+        }
+        assert_eq!(q.len(), 32);
+        assert!(
+            q.heap.len() <= 2 * 64 + 32,
+            "heap holds {} keys for 32 live events",
+            q.heap.len()
+        );
+        // The survivors still come out in order.
+        keep.reverse();
+        let mut last = Cycles::ZERO;
+        while let Some((t, _)) = q.pop() {
+            assert!(t >= last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn no_allocation_after_warmup() {
+        // After one full schedule/pop cycle at peak population, steady
+        // state reuses slab slots and heap capacity: capacities must not
+        // grow across further cycles.
+        let mut q = EventQueue::new();
+        for round in 0..3u64 {
+            for i in 0..256u64 {
+                q.schedule(Cycles::new(round * 10_000 + i), i);
+            }
+            while q.pop().is_some() {}
+        }
+        let slots_cap = q.slots.capacity();
+        let heap_cap = q.heap.capacity();
+        let free_cap = q.free.capacity();
+        for round in 3..10u64 {
+            for i in 0..256u64 {
+                let id = q.schedule(Cycles::new(round * 10_000 + i), i);
+                if i % 3 == 0 {
+                    q.cancel(id);
+                }
+            }
+            while q.pop().is_some() {}
+        }
+        assert_eq!(q.slots.capacity(), slots_cap, "slab regrew");
+        assert_eq!(q.heap.capacity(), heap_cap, "heap regrew");
+        assert_eq!(q.free.capacity(), free_cap, "free list regrew");
     }
 }

@@ -27,6 +27,7 @@
 //! assert!(!q.cancel(early)); // already delivered
 //! ```
 
+pub mod digest;
 pub mod event;
 pub mod rng;
 pub mod stats;

@@ -1,0 +1,84 @@
+//! Golden-output tests: the simulator's observable behavior is pinned by
+//! committed fixtures, so performance work on the substrates (event queue,
+//! directory, caches, flush path) can be proven byte-neutral. Any
+//! intentional behavior change must regenerate the fixtures (see
+//! EXPERIMENTS.md, "Performance methodology") in the same commit.
+
+use std::process::Command;
+use tb_sim::digest::fnv1a64_hex;
+
+fn bin(args: &[&str]) -> Vec<u8> {
+    let out = Command::new(env!("CARGO_BIN_EXE_thrifty-barrier"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "{args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
+fn fixture(name: &str) -> Vec<u8> {
+    let path = format!("{}/tests/golden/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"))
+}
+
+/// The 8-node sweep table must be byte-identical to the fixture at every
+/// worker-pool size: results are emitted in matrix order regardless of
+/// completion order, so parallelism may never change output.
+#[test]
+fn sweep_n8_text_matches_fixture_at_every_jobs_level() {
+    let want = fixture("sweep_n8.txt");
+    for jobs in ["1", "2", "4"] {
+        let got = bin(&["sweep", "--nodes", "8", "--jobs", jobs]);
+        assert_eq!(
+            got, want,
+            "sweep --nodes 8 --jobs {jobs} drifted from tests/golden/sweep_n8.txt"
+        );
+    }
+}
+
+/// Single-app run output is pinned too (per-report rendering, not just the
+/// sweep table).
+#[test]
+fn run_ocean_n8_matches_fixture() {
+    let got = bin(&["run", "Ocean", "--nodes", "8"]);
+    assert_eq!(
+        got,
+        fixture("run_ocean_n8.txt"),
+        "run Ocean --nodes 8 drifted from tests/golden/run_ocean_n8.txt"
+    );
+}
+
+/// The full machine-readable report stream is pinned by digest — the same
+/// digest `cargo bench -p tb-bench --bench bench_sim` checks in quick mode
+/// (TB_BENCH_QUICK=1), so CI and local tests gate on the same fixture.
+#[test]
+fn sweep_n8_json_digest_matches_fixture() {
+    let json = bin(&["sweep", "--nodes", "8", "--json"]);
+    // The CLI prints the JSON with a trailing newline; the digest covers
+    // the document itself.
+    let trimmed = json.strip_suffix(b"\n").unwrap_or(&json);
+    let want = fixture("sweep_n8_json.digest");
+    let want = String::from_utf8(want).expect("digest fixture is ASCII hex");
+    assert_eq!(
+        fnv1a64_hex(trimmed),
+        want.trim(),
+        "sweep --nodes 8 --json digest drifted from tests/golden/sweep_n8_json.digest"
+    );
+}
+
+/// The paper-scale (64-node) sweep table, serial vs. parallel, against its
+/// fixture. Slower than the 8-node tests but still the tier-1 gate for the
+/// exact workload the performance numbers are quoted on.
+#[test]
+fn sweep_n64_text_matches_fixture() {
+    let want = fixture("sweep_n64.txt");
+    let got = bin(&["sweep", "--nodes", "64", "--jobs", "2"]);
+    assert_eq!(
+        got, want,
+        "sweep --nodes 64 --jobs 2 drifted from tests/golden/sweep_n64.txt"
+    );
+}
