@@ -86,6 +86,21 @@ impl PredictorImpl {
     }
 }
 
+/// Per-site quarantine bookkeeping (fault hardening): tracks consecutive
+/// gross mispredictions and, while quarantined, a 2-bit confidence counter
+/// over shadow predictions (the `ConfidencePredictor` mechanism applied at
+/// the site level).
+#[derive(Debug, Clone, Copy, Default)]
+struct QuarantineState {
+    /// Gross mispredictions in a row (reset by any accurate one).
+    consecutive_bad: u32,
+    /// Whether predictions are currently suppressed at this site.
+    quarantined: bool,
+    /// 2-bit saturating confidence counter, advanced by accurate shadow
+    /// predictions while quarantined; ≥ 2 releases the site.
+    confidence: u8,
+}
+
 #[derive(Debug, Clone, Default)]
 struct SiteState {
     /// Dynamic instance counter: the index of the *next* instance to
@@ -96,6 +111,12 @@ struct SiteState {
     /// "shared BIT variable" of §3.2.1 (always the *measured* value, even
     /// when the predictor skipped the update).
     published_bit: Cycles,
+    /// The first (shadow) prediction recorded for the in-flight instance,
+    /// compared against the measured BIT at release for quarantine
+    /// accounting. Only maintained when quarantine is configured.
+    pending_prediction: Option<(u64, Cycles)>,
+    /// Quarantine bookkeeping (inactive unless configured).
+    quarantine: QuarantineState,
 }
 
 /// What an early-arriving thread was told to do.
@@ -129,6 +150,9 @@ pub struct ReleaseInfo {
     /// The releasing thread's local timestamp of the release — equal to
     /// every thread's new BRTS after [`BarrierAlgorithm::finish_barrier`].
     pub release_estimate: Cycles,
+    /// Quarantine transition at this release, if any: `Some(true)` when
+    /// the site entered quarantine, `Some(false)` when it left.
+    pub quarantine: Option<bool>,
 }
 
 /// The outcome of a thread's post-barrier bookkeeping.
@@ -266,6 +290,25 @@ impl BarrierAlgorithm {
             };
         }
         let predicted = self.predictor.as_dyn().predict(pc, instance, thread);
+        // Quarantine (fault hardening): record the first prediction of the
+        // instance as a *shadow* — it is observed against the measured BIT
+        // at release even while suppressed — then, if the site is
+        // quarantined, withhold it so the thread falls back to spinning.
+        let predicted = if self.cfg.quarantine.is_some() {
+            let site = self.site(pc);
+            if let Some(bit) = predicted {
+                if site.pending_prediction.is_none_or(|(i, _)| i != instance) {
+                    site.pending_prediction = Some((instance, bit));
+                }
+            }
+            if site.quarantine.quarantined {
+                None
+            } else {
+                predicted
+            }
+        } else {
+            predicted
+        };
         let estimate = predicted.map(|p| {
             if matches!(self.cfg.predictor, PredictorChoice::DirectBst) {
                 timing.estimate_direct_stall(now, p)
@@ -321,10 +364,46 @@ impl BarrierAlgorithm {
     pub fn on_last_arrival(&mut self, thread: ThreadId, pc: BarrierPc, now: Cycles) -> ReleaseInfo {
         self.arrivals[thread.index()] = now;
         let measured_bit = self.timings[thread.index()].measure_bit(now);
+        let q_cfg = self.cfg.quarantine;
         let site = self.site(pc);
         let instance = site.next_instance;
         site.next_instance += 1;
         site.published_bit = measured_bit;
+        // Quarantine accounting: compare the shadow prediction with the
+        // measurement; K gross misses in a row enter quarantine, two
+        // accurate shadows in a row leave it.
+        let mut quarantine = None;
+        if let Some(q) = q_cfg {
+            let pending = site.pending_prediction.take();
+            if let Some((inst, predicted)) = pending {
+                if inst == instance && measured_bit > Cycles::ZERO {
+                    let rel_err = (predicted.as_u64() as f64 - measured_bit.as_u64() as f64).abs()
+                        / measured_bit.as_u64() as f64;
+                    let gross = rel_err > q.tolerance;
+                    let qs = &mut site.quarantine;
+                    if qs.quarantined {
+                        if gross {
+                            qs.confidence = 0;
+                        } else {
+                            qs.confidence = (qs.confidence + 1).min(3);
+                            if qs.confidence >= 2 {
+                                *qs = QuarantineState::default();
+                                quarantine = Some(false);
+                            }
+                        }
+                    } else if gross {
+                        qs.consecutive_bad += 1;
+                        if qs.consecutive_bad >= q.consecutive {
+                            qs.quarantined = true;
+                            qs.confidence = 0;
+                            quarantine = Some(true);
+                        }
+                    } else {
+                        qs.consecutive_bad = 0;
+                    }
+                }
+            }
+        }
         let update = if self.cfg.thrifty {
             self.predictor
                 .as_dyn_mut()
@@ -342,12 +421,31 @@ impl BarrierAlgorithm {
                 update_skipped: update == UpdateOutcome::SkippedInordinate,
             },
         ));
+        if let Some(entered) = quarantine {
+            self.trace.emit(TraceEvent::new(
+                now,
+                thread.index(),
+                TraceEventKind::Quarantine {
+                    episode: instance,
+                    pc: pc.as_u64(),
+                    entered,
+                },
+            ));
+        }
         ReleaseInfo {
             instance,
             measured_bit,
             update,
             release_estimate: now,
+            quarantine,
         }
+    }
+
+    /// Whether the site at `pc` is currently in predictor quarantine.
+    pub fn is_quarantined(&self, pc: BarrierPc) -> bool {
+        self.sites
+            .get(&pc)
+            .is_some_and(|s| s.quarantine.quarantined)
     }
 
     /// Call point 3: `thread` is awake and past the residual spin for the
@@ -666,6 +764,54 @@ mod tests {
             })
             .unwrap();
         assert_eq!(cutoff, (2, us(200)));
+    }
+
+    #[test]
+    fn quarantine_enters_after_k_gross_misses_and_rebuilds() {
+        use crate::config::QuarantineConfig;
+        use std::sync::Arc;
+        use tb_trace::{MemorySink, SinkHandle, TraceKindCounts};
+
+        let cfg = AlgorithmConfig::thrifty().with_quarantine(Some(QuarantineConfig {
+            consecutive: 3,
+            tolerance: 0.5,
+        }));
+        let mut algo = BarrierAlgorithm::new(cfg, 2);
+        let sink = Arc::new(MemorySink::new(2, 256));
+        algo.set_trace(SinkHandle::new(sink.clone()));
+
+        // Releases at these absolute times give measured BITs of 1000,
+        // 400, 160, 64, 64, 64, 64 µs: the last-value predictor overshoots
+        // by 2.5× on episodes 1–3 (gross at tolerance 0.5), then the BIT
+        // stabilizes so shadow predictions become exact.
+        let releases = [1000u64, 1400, 1560, 1624, 1688, 1752, 1816];
+        let mut transitions = Vec::new();
+        let mut suppressed = Vec::new();
+        let mut prev = 0u64;
+        for (i, &r) in releases.iter().enumerate() {
+            let d = algo.on_early_arrival(t(0), PC, us(prev + 10));
+            suppressed.push(i > 0 && d.predicted_bit.is_none());
+            let rel = algo.on_last_arrival(t(1), PC, us(r));
+            if let Some(entered) = rel.quarantine {
+                transitions.push((i, entered));
+            }
+            algo.finish_barrier(t(0), PC, rel.release_estimate);
+            algo.finish_barrier(t(1), PC, rel.release_estimate);
+            prev = r;
+        }
+        // Gross misses on episodes 1, 2, 3 → enter at 3; exact shadows on
+        // 4 and 5 rebuild confidence → leave at 5.
+        assert_eq!(transitions, vec![(3, true), (5, false)]);
+        // Predictions were withheld while quarantined (episodes 4, 5) and
+        // offered again after release (episode 6).
+        assert_eq!(
+            suppressed,
+            vec![false, false, false, false, true, true, false]
+        );
+        assert!(!algo.is_quarantined(PC));
+        let c = TraceKindCounts::from_events(&sink.drain_sorted());
+        assert_eq!(c.quarantine_enters, 1);
+        assert_eq!(c.quarantine_leaves, 1);
     }
 
     #[test]

@@ -42,6 +42,159 @@ impl fmt::Display for PredictorChoice {
     }
 }
 
+/// Predictor-quarantine thresholds (fault hardening): after
+/// `consecutive` gross mispredictions in a row at one barrier PC — each
+/// off by more than `tolerance` relative error — the site stops offering
+/// predictions (falls back to plain spinning) until the 2-bit confidence
+/// counter saturates again on accurate measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuarantineConfig {
+    /// Consecutive gross mispredictions before the site is quarantined.
+    pub consecutive: u32,
+    /// Relative error `|predicted − measured| / measured` above which a
+    /// prediction counts as gross.
+    pub tolerance: f64,
+}
+
+impl Default for QuarantineConfig {
+    fn default() -> Self {
+        QuarantineConfig {
+            consecutive: 3,
+            tolerance: 0.5,
+        }
+    }
+}
+
+/// A deterministic fault-injection plan (see `tb-faults`).
+///
+/// Every field is a per-opportunity probability (or a mean magnitude for
+/// the delay-type faults); all randomness is drawn from splittable
+/// `tb-sim::SimRng` streams derived from `seed`, so a plan replays
+/// identically at any `--jobs` level. [`FaultPlan::none`] is the disabled
+/// plan: all probabilities zero, and injection layers treat it as absent,
+/// which keeps fault plumbing provably zero-cost on clean runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Root seed of every derived fault stream.
+    pub seed: u64,
+    /// P(drop a barrier-flag invalidation wake-up signal).
+    pub lose_wakeup: f64,
+    /// P(delay a barrier-flag invalidation wake-up signal).
+    pub delay_wakeup: f64,
+    /// Mean of the exponential wake-up delay, in nanoseconds.
+    pub delay_wakeup_mean_ns: f64,
+    /// P(an armed countdown timer drifts late).
+    pub timer_drift: f64,
+    /// Max drift as a fraction of the programmed countdown.
+    pub timer_drift_frac: f64,
+    /// P(an armed countdown timer fires spuriously early).
+    pub spurious_fire: f64,
+    /// P(a sleep-state exit transition stalls past its rated latency).
+    pub oversleep: f64,
+    /// Mean of the exponential oversleep stall, in nanoseconds.
+    pub oversleep_mean_ns: f64,
+    /// P(a real-threads unpark analog is delayed).
+    pub delay_unpark: f64,
+    /// Mean of the exponential unpark delay, in nanoseconds.
+    pub delay_unpark_mean_ns: f64,
+}
+
+impl FaultPlan {
+    /// The disabled plan: nothing is ever injected.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            lose_wakeup: 0.0,
+            delay_wakeup: 0.0,
+            delay_wakeup_mean_ns: 0.0,
+            timer_drift: 0.0,
+            timer_drift_frac: 0.0,
+            spurious_fire: 0.0,
+            oversleep: 0.0,
+            oversleep_mean_ns: 0.0,
+            delay_unpark: 0.0,
+            delay_unpark_mean_ns: 0.0,
+        }
+    }
+
+    /// Whether any fault class can fire under this plan.
+    pub fn enabled(&self) -> bool {
+        [
+            self.lose_wakeup,
+            self.delay_wakeup,
+            self.timer_drift,
+            self.spurious_fire,
+            self.oversleep,
+            self.delay_unpark,
+        ]
+        .iter()
+        .any(|&p| p > 0.0)
+    }
+
+    /// The named scenarios of the fault-matrix sweep, in table order.
+    pub fn scenario_names() -> &'static [&'static str] {
+        &[
+            "none",
+            "lost-wakeup",
+            "late-wakeup",
+            "timer-drift",
+            "spurious-timer",
+            "oversleep",
+            "storm",
+        ]
+    }
+
+    /// Looks up a named scenario (case-insensitive), seeding its streams
+    /// from `seed`.
+    pub fn by_name(name: &str, seed: u64) -> Option<Self> {
+        let base = FaultPlan {
+            seed,
+            ..FaultPlan::none()
+        };
+        let plan = match name.to_ascii_lowercase().as_str() {
+            "none" => FaultPlan::none(),
+            "lost-wakeup" => FaultPlan {
+                lose_wakeup: 0.25,
+                ..base
+            },
+            "late-wakeup" => FaultPlan {
+                delay_wakeup: 0.5,
+                delay_wakeup_mean_ns: 50_000.0,
+                ..base
+            },
+            "timer-drift" => FaultPlan {
+                timer_drift: 0.5,
+                timer_drift_frac: 0.5,
+                ..base
+            },
+            "spurious-timer" => FaultPlan {
+                spurious_fire: 0.25,
+                ..base
+            },
+            "oversleep" => FaultPlan {
+                oversleep: 0.25,
+                oversleep_mean_ns: 50_000.0,
+                ..base
+            },
+            "storm" => FaultPlan {
+                lose_wakeup: 0.15,
+                delay_wakeup: 0.25,
+                delay_wakeup_mean_ns: 50_000.0,
+                timer_drift: 0.25,
+                timer_drift_frac: 0.5,
+                spurious_fire: 0.15,
+                oversleep: 0.15,
+                oversleep_mean_ns: 50_000.0,
+                delay_unpark: 0.25,
+                delay_unpark_mean_ns: 50_000.0,
+                ..base
+            },
+            _ => return None,
+        };
+        Some(plan)
+    }
+}
+
 /// Everything that parameterizes the thrifty-barrier algorithm.
 #[derive(Debug, Clone)]
 pub struct AlgorithmConfig {
@@ -69,6 +222,9 @@ pub struct AlgorithmConfig {
     /// latency`, trading a little residual spin for keeping the exit
     /// latency off the critical path when the prediction is exact.
     pub wakeup_anticipation: tb_sim::Cycles,
+    /// Predictor quarantine (fault hardening): `None` disables it, which
+    /// is the default so clean runs are untouched.
+    pub quarantine: Option<QuarantineConfig>,
 }
 
 impl AlgorithmConfig {
@@ -84,6 +240,7 @@ impl AlgorithmConfig {
             underprediction_factor: Some(8.0),
             flush_overhead: true,
             wakeup_anticipation: tb_sim::Cycles::from_micros(3),
+            quarantine: None,
         }
     }
 
@@ -137,6 +294,12 @@ impl AlgorithmConfig {
     /// Returns a copy with a different predictor (ablation A2).
     pub fn with_predictor(mut self, predictor: PredictorChoice) -> Self {
         self.predictor = predictor;
+        self
+    }
+
+    /// Returns a copy with predictor quarantine enabled (fault hardening).
+    pub fn with_quarantine(mut self, quarantine: Option<QuarantineConfig>) -> Self {
+        self.quarantine = quarantine;
         self
     }
 }
@@ -275,6 +438,32 @@ mod tests {
         assert_eq!(c.wakeup, WakeupMode::ExternalOnly);
         assert_eq!(c.overprediction_threshold, None);
         assert!(matches!(c.predictor, PredictorChoice::Averaging(_)));
+    }
+
+    #[test]
+    fn fault_plan_scenarios_resolve() {
+        assert!(!FaultPlan::none().enabled());
+        for &name in FaultPlan::scenario_names() {
+            let plan = FaultPlan::by_name(name, 42).unwrap_or_else(|| panic!("{name} resolves"));
+            assert_eq!(plan.enabled(), name != "none", "{name}");
+        }
+        assert!(
+            FaultPlan::by_name("LOST-WAKEUP", 1).is_some(),
+            "case-insensitive"
+        );
+        assert!(FaultPlan::by_name("no-such-scenario", 1).is_none());
+        let storm = FaultPlan::by_name("storm", 7).unwrap();
+        assert_eq!(storm.seed, 7);
+        assert!(storm.lose_wakeup > 0.0 && storm.oversleep > 0.0 && storm.delay_unpark > 0.0);
+    }
+
+    #[test]
+    fn quarantine_defaults() {
+        assert!(AlgorithmConfig::thrifty().quarantine.is_none());
+        let q = QuarantineConfig::default();
+        assert_eq!(q.consecutive, 3);
+        let c = AlgorithmConfig::thrifty().with_quarantine(Some(q));
+        assert_eq!(c.quarantine, Some(q));
     }
 
     #[test]

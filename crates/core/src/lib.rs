@@ -57,11 +57,11 @@ pub mod timing;
 pub mod wakeup;
 
 pub use barrier::{ArrivalDecision, BarrierAlgorithm, ReleaseInfo, ThreadId};
-pub use config::{AlgorithmConfig, PredictorChoice, SystemConfig};
+pub use config::{AlgorithmConfig, FaultPlan, PredictorChoice, QuarantineConfig, SystemConfig};
 pub use policy::{SleepChoice, SleepPolicy};
 pub use predictor::{
     AveragingPredictor, BarrierPc, BitPredictor, ConfidencePredictor, DirectBstPredictor,
     LastValuePredictor, RecordedBitOracle, UpdateOutcome,
 };
 pub use timing::ThreadTiming;
-pub use wakeup::{WakeupMode, WakeupPlan};
+pub use wakeup::{TimerSkew, WakeupMode, WakeupPlan};

@@ -89,6 +89,40 @@ impl WakeupPlan {
     }
 }
 
+/// A perturbation of the armed internal countdown timer (fault modeling,
+/// `tb-faults`). The randomness — whether a skew happens and how large it
+/// is — comes from the injector; this type is the pure arithmetic applied
+/// to a [`WakeupPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TimerSkew {
+    /// The timer drifts: it fires this much *after* its programmed target,
+    /// risking unbounded oversleep under internal-only wake-up.
+    DriftLate(Cycles),
+    /// The timer fires spuriously this much *before* its programmed
+    /// target; the residual spin absorbs the early wake-up.
+    SpuriousEarly(Cycles),
+}
+
+impl WakeupPlan {
+    /// Returns the plan with `skew` applied to the armed internal timer,
+    /// clamping the fire time to `now` (a timer cannot fire in the past).
+    /// A plan without an internal timer is returned unchanged — the
+    /// external path has no timer to skew.
+    pub fn with_skew(self, now: Cycles, skew: TimerSkew) -> Self {
+        let Some(at) = self.internal_at else {
+            return self;
+        };
+        let skewed = match skew {
+            TimerSkew::DriftLate(delta) => at + delta,
+            TimerSkew::SpuriousEarly(delta) => at.saturating_sub(delta),
+        };
+        WakeupPlan {
+            internal_at: Some(skewed.max(now)),
+            ..self
+        }
+    }
+}
+
 impl fmt::Display for WakeupPlan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match (self.external, self.internal_at) {
@@ -174,6 +208,38 @@ mod tests {
             Cycles::ZERO,
         );
         assert_eq!(p.internal_at, Some(NOW));
+    }
+
+    #[test]
+    fn skew_moves_the_timer_and_clamps_to_now() {
+        let p = WakeupPlan::new(
+            WakeupMode::Hybrid,
+            NOW,
+            Cycles::new(2_000_000),
+            Cycles::from_micros(10),
+            Cycles::ZERO,
+        );
+        let at = p.internal_at.unwrap();
+        let late = p.with_skew(NOW, TimerSkew::DriftLate(Cycles::new(500)));
+        assert_eq!(late.internal_at, Some(at + Cycles::new(500)));
+        assert!(late.external, "skew does not touch the external arm");
+        let early = p.with_skew(NOW, TimerSkew::SpuriousEarly(Cycles::new(500)));
+        assert_eq!(early.internal_at, Some(at - Cycles::new(500)));
+        // A skew past `now` clamps: timers cannot fire in the past.
+        let clamped = p.with_skew(NOW, TimerSkew::SpuriousEarly(Cycles::from_secs(10)));
+        assert_eq!(clamped.internal_at, Some(NOW));
+        // External-only plans have no timer to skew.
+        let ext = WakeupPlan::new(
+            WakeupMode::ExternalOnly,
+            NOW,
+            Cycles::new(2_000_000),
+            Cycles::from_micros(10),
+            Cycles::ZERO,
+        );
+        assert_eq!(
+            ext.with_skew(NOW, TimerSkew::DriftLate(Cycles::new(5))),
+            ext
+        );
     }
 
     #[test]

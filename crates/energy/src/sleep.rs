@@ -99,6 +99,14 @@ impl SleepState {
         self.transition_latency * 2
     }
 
+    /// Exit latency under an injected oversleep stall (`tb-faults`): the
+    /// rated one-way transition latency plus `extra`. With `extra` zero
+    /// this is exactly [`SleepState::transition_latency`], so fault-free
+    /// paths can route through it unchanged.
+    pub fn stalled_exit(&self, extra: Cycles) -> Cycles {
+        self.transition_latency + extra
+    }
+
     /// Whether the cache still services coherence requests while the CPU is
     /// in this state. If `false`, dirty shared data must be flushed before
     /// entering (§3.1) and the on-chip cache controller answers
@@ -377,5 +385,16 @@ mod tests {
     fn round_trip_is_double_latency() {
         let t = SleepTable::paper();
         assert_eq!(t.state(t.deepest()).round_trip(), Cycles::from_micros(70));
+    }
+
+    #[test]
+    fn stalled_exit_adds_to_rated_latency() {
+        let t = SleepTable::paper();
+        let s = t.state(t.shallowest());
+        assert_eq!(s.stalled_exit(Cycles::ZERO), s.transition_latency());
+        assert_eq!(
+            s.stalled_exit(Cycles::from_micros(5)),
+            Cycles::from_micros(15)
+        );
     }
 }

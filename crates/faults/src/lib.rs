@@ -1,0 +1,322 @@
+#![warn(missing_docs)]
+//! Deterministic fault injection for the thrifty-barrier stack.
+//!
+//! The paper's correctness story (§3.3) assumes a perfect world: the
+//! barrier-flag invalidation always arrives, countdown timers fire exactly
+//! when programmed, and sleep-state exits take their rated latency. This
+//! crate makes each of those assumptions violable — reproducibly.
+//!
+//! A [`FaultInjector`] is built from a [`FaultPlan`] (`tb-core::config`)
+//! and draws every decision from splittable [`SimRng`] streams derived from
+//! the plan's seed, one stream per fault class, so
+//!
+//! * the same plan and seed replay the identical fault schedule at any
+//!   worker-pool size, and
+//! * enabling one fault class never perturbs the draws of another.
+//!
+//! The injector covers the *executor-side* fault classes: countdown-timer
+//! drift and spurious fires ([`FaultInjector::timer_skew`]), oversleep
+//! stalls ([`FaultInjector::oversleep_extra`]), and delayed unpark analogs
+//! ([`FaultInjector::unpark_delay`]). Lost/delayed invalidation wake-ups
+//! live in the memory substrate itself (`tb-mem::InvalidationFaults`),
+//! configured from the same plan by the simulator.
+//!
+//! Hardening sizes are here too: [`guard_deadline`] computes the watchdog
+//! re-arm point — a multiple of the predicted stall, floored — that
+//! backstops lost external wake-ups, and [`FaultSummary`] accumulates
+//! injected-fault and recovery counts for reports.
+
+use serde::{Deserialize, Serialize};
+use tb_core::{FaultPlan, TimerSkew};
+use tb_sim::{Cycles, SimRng};
+use tb_trace::FaultKind;
+
+/// Guard-timer multiple: the watchdog fires this many predicted stalls
+/// after arming (re-arming at the same multiple while the barrier is still
+/// unreleased). Large enough that a healthy wake-up path always wins; small
+/// enough that a lost wake-up costs a bounded number of episodes' worth of
+/// time, not forever.
+pub const GUARD_MULTIPLE: u64 = 4;
+
+/// Guard-interval floor, used when no prediction exists (warm-up episodes,
+/// quarantined sites) or the predicted stall is tiny. Comfortably above the
+/// deepest sleep state's round-trip (70 µs) so the guard never races a
+/// healthy exit transition.
+pub const MIN_GUARD: Cycles = Cycles::from_micros(200);
+
+/// The absolute time at which a guard timer armed at `now` should fire,
+/// given the predicted stall (if any): `now + max(GUARD_MULTIPLE × stall,
+/// MIN_GUARD)`.
+pub fn guard_deadline(now: Cycles, predicted_stall: Option<Cycles>) -> Cycles {
+    let interval = predicted_stall
+        .map(|s| s * GUARD_MULTIPLE)
+        .unwrap_or(Cycles::ZERO)
+        .max(MIN_GUARD);
+    now + interval
+}
+
+/// Seed-driven fault source for the executor-side fault classes.
+///
+/// One independent RNG stream per class; each opportunity (an armed timer,
+/// a beginning exit transition, an unpark) draws from its class's stream
+/// only, so fault schedules are stable under unrelated changes.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    timer_rng: SimRng,
+    oversleep_rng: SimRng,
+    unpark_rng: SimRng,
+}
+
+impl FaultInjector {
+    /// Builds the injector, or `None` for a disabled plan — callers keep a
+    /// plain `Option` and fault-free runs never touch injection code.
+    pub fn from_plan(plan: &FaultPlan) -> Option<Self> {
+        if !plan.enabled() {
+            return None;
+        }
+        let root = SimRng::new(plan.seed);
+        Some(FaultInjector {
+            plan: plan.clone(),
+            timer_rng: root.derive("fault-timer", 0),
+            oversleep_rng: root.derive("fault-oversleep", 0),
+            unpark_rng: root.derive("fault-unpark", 0),
+        })
+    }
+
+    /// The plan this injector was built from.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Fault (b): perturb an armed countdown timer. `countdown` is the
+    /// remaining time until the programmed fire. Spurious early fires are
+    /// drawn first, then drift, so each armed timer consumes a stable
+    /// number of draws per enabled class.
+    pub fn timer_skew(&mut self, countdown: Cycles) -> Option<(TimerSkew, FaultKind)> {
+        if countdown == Cycles::ZERO {
+            return None;
+        }
+        if self.plan.spurious_fire > 0.0 && self.timer_rng.chance(self.plan.spurious_fire) {
+            // Fire anywhere inside the countdown window.
+            let early = countdown.scale(self.timer_rng.uniform());
+            return Some((TimerSkew::SpuriousEarly(early), FaultKind::SpuriousTimer));
+        }
+        if self.plan.timer_drift > 0.0 && self.timer_rng.chance(self.plan.timer_drift) {
+            let late = countdown.scale(self.plan.timer_drift_frac * self.timer_rng.uniform());
+            if late > Cycles::ZERO {
+                return Some((TimerSkew::DriftLate(late), FaultKind::TimerDrift));
+            }
+        }
+        None
+    }
+
+    /// Fault (c): extra stall added to a sleep-state exit transition, if
+    /// this exit oversleeps.
+    pub fn oversleep_extra(&mut self) -> Option<Cycles> {
+        if self.plan.oversleep > 0.0 && self.oversleep_rng.chance(self.plan.oversleep) {
+            let ns = self.oversleep_rng.exponential(self.plan.oversleep_mean_ns);
+            Some(Cycles::from_nanos(ns as u64).max(Cycles::new(1)))
+        } else {
+            None
+        }
+    }
+
+    /// Fault (b), real-threads flavor: whether a parked thread takes a
+    /// spurious OS-level wake-up (the runtime analog of a spurious timer
+    /// fire; the predicate loop absorbs it). Drawn from the timer stream.
+    pub fn spurious_park_wake(&mut self) -> bool {
+        self.plan.spurious_fire > 0.0 && self.timer_rng.chance(self.plan.spurious_fire)
+    }
+
+    /// Fault (d): delay added to an unpark analog (real-threads runtime),
+    /// if this unpark is delayed.
+    pub fn unpark_delay(&mut self) -> Option<Cycles> {
+        if self.plan.delay_unpark > 0.0 && self.unpark_rng.chance(self.plan.delay_unpark) {
+            let ns = self.unpark_rng.exponential(self.plan.delay_unpark_mean_ns);
+            Some(Cycles::from_nanos(ns as u64).max(Cycles::new(1)))
+        } else {
+            None
+        }
+    }
+}
+
+/// Injected-fault and recovery tallies for one run — the side-channel the
+/// harness aggregates (the serialized `RunReport` shape is frozen by golden
+/// fixtures, so these travel next to it, not inside it).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultSummary {
+    /// Dropped barrier-flag invalidation wake-ups.
+    pub lost_wakeups: u64,
+    /// Delayed barrier-flag invalidation wake-ups.
+    pub delayed_wakeups: u64,
+    /// Countdown timers that drifted late.
+    pub timer_drifts: u64,
+    /// Countdown timers that fired spuriously early.
+    pub spurious_timers: u64,
+    /// Sleep-state exits that stalled past their rated latency.
+    pub oversleeps: u64,
+    /// Delayed unpark analogs.
+    pub delayed_unparks: u64,
+    /// Guard-timer rescues (threads whose primary wake-up path failed).
+    pub guard_recoveries: u64,
+    /// Barrier sites that entered predictor quarantine.
+    pub quarantine_entries: u64,
+    /// Barrier sites that left predictor quarantine.
+    pub quarantine_exits: u64,
+}
+
+impl FaultSummary {
+    /// Tallies one injected fault.
+    pub fn record(&mut self, kind: FaultKind) {
+        match kind {
+            FaultKind::LostWakeup => self.lost_wakeups += 1,
+            FaultKind::DelayedWakeup => self.delayed_wakeups += 1,
+            FaultKind::TimerDrift => self.timer_drifts += 1,
+            FaultKind::SpuriousTimer => self.spurious_timers += 1,
+            FaultKind::Oversleep => self.oversleeps += 1,
+            FaultKind::DelayedUnpark => self.delayed_unparks += 1,
+        }
+    }
+
+    /// Total faults injected (recoveries and quarantine transitions are
+    /// responses, not injections).
+    pub fn injected(&self) -> u64 {
+        self.lost_wakeups
+            + self.delayed_wakeups
+            + self.timer_drifts
+            + self.spurious_timers
+            + self.oversleeps
+            + self.delayed_unparks
+    }
+
+    /// Accumulates another run's tallies into this one.
+    pub fn merge(&mut self, other: &FaultSummary) {
+        self.lost_wakeups += other.lost_wakeups;
+        self.delayed_wakeups += other.delayed_wakeups;
+        self.timer_drifts += other.timer_drifts;
+        self.spurious_timers += other.spurious_timers;
+        self.oversleeps += other.oversleeps;
+        self.delayed_unparks += other.delayed_unparks;
+        self.guard_recoveries += other.guard_recoveries;
+        self.quarantine_entries += other.quarantine_entries;
+        self.quarantine_exits += other.quarantine_exits;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(seed: u64) -> FaultPlan {
+        FaultPlan::by_name("storm", seed).unwrap()
+    }
+
+    #[test]
+    fn disabled_plan_builds_no_injector() {
+        assert!(FaultInjector::from_plan(&FaultPlan::none()).is_none());
+        assert!(FaultInjector::from_plan(&plan(1)).is_some());
+    }
+
+    #[test]
+    fn injector_is_deterministic() {
+        let mut a = FaultInjector::from_plan(&plan(42)).unwrap();
+        let mut b = FaultInjector::from_plan(&plan(42)).unwrap();
+        for _ in 0..200 {
+            let c = Cycles::from_micros(500);
+            assert_eq!(a.timer_skew(c), b.timer_skew(c));
+            assert_eq!(a.oversleep_extra(), b.oversleep_extra());
+            assert_eq!(a.unpark_delay(), b.unpark_delay());
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_schedules() {
+        let mut a = FaultInjector::from_plan(&plan(1)).unwrap();
+        let mut b = FaultInjector::from_plan(&plan(2)).unwrap();
+        let same = (0..256)
+            .filter(|_| {
+                a.timer_skew(Cycles::from_micros(500)) == b.timer_skew(Cycles::from_micros(500))
+            })
+            .count();
+        assert!(same < 256, "schedules differ somewhere");
+    }
+
+    #[test]
+    fn timer_skew_respects_the_countdown() {
+        let mut inj = FaultInjector::from_plan(&plan(7)).unwrap();
+        let countdown = Cycles::from_micros(500);
+        let mut saw_spurious = false;
+        let mut saw_drift = false;
+        for _ in 0..2000 {
+            match inj.timer_skew(countdown) {
+                Some((TimerSkew::SpuriousEarly(e), FaultKind::SpuriousTimer)) => {
+                    assert!(e <= countdown, "fires within the window");
+                    saw_spurious = true;
+                }
+                Some((TimerSkew::DriftLate(l), FaultKind::TimerDrift)) => {
+                    // Drift is bounded by drift_frac × countdown.
+                    assert!(l <= countdown.scale(plan(7).timer_drift_frac));
+                    saw_drift = true;
+                }
+                Some(other) => panic!("unexpected skew {other:?}"),
+                None => {}
+            }
+        }
+        assert!(saw_spurious && saw_drift, "both classes fire under storm");
+        assert_eq!(inj.timer_skew(Cycles::ZERO), None, "no countdown, no skew");
+    }
+
+    #[test]
+    fn delays_are_positive_when_injected() {
+        let mut inj = FaultInjector::from_plan(&plan(9)).unwrap();
+        let mut hits = 0;
+        for _ in 0..500 {
+            if let Some(d) = inj.oversleep_extra() {
+                assert!(d > Cycles::ZERO);
+                hits += 1;
+            }
+            if let Some(d) = inj.unpark_delay() {
+                assert!(d > Cycles::ZERO);
+                hits += 1;
+            }
+        }
+        assert!(hits > 0, "storm injects at these rates");
+    }
+
+    #[test]
+    fn guard_deadline_floors_and_scales() {
+        let now = Cycles::from_millis(1);
+        assert_eq!(guard_deadline(now, None), now + MIN_GUARD);
+        assert_eq!(
+            guard_deadline(now, Some(Cycles::from_micros(10))),
+            now + MIN_GUARD,
+            "tiny stalls floor at MIN_GUARD"
+        );
+        let stall = Cycles::from_micros(500);
+        assert_eq!(
+            guard_deadline(now, Some(stall)),
+            now + stall * GUARD_MULTIPLE
+        );
+    }
+
+    #[test]
+    fn summary_records_and_merges() {
+        let mut s = FaultSummary::default();
+        s.record(FaultKind::LostWakeup);
+        s.record(FaultKind::Oversleep);
+        s.guard_recoveries = 1;
+        let mut t = FaultSummary::default();
+        t.record(FaultKind::TimerDrift);
+        t.quarantine_entries = 2;
+        s.merge(&t);
+        assert_eq!(s.injected(), 3);
+        assert_eq!(s.lost_wakeups, 1);
+        assert_eq!(s.timer_drifts, 1);
+        assert_eq!(s.guard_recoveries, 1);
+        assert_eq!(s.quarantine_entries, 2);
+        let json = serde::json::to_string(&s);
+        let back: FaultSummary = serde::json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

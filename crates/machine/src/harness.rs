@@ -21,11 +21,13 @@
 
 use crate::report::{AggregateReport, RunReport};
 use crate::run::oracle_from_baseline;
-use crate::sim::{simulate, SimulatorConfig};
+use crate::sim::{simulate, simulate_faulted, SimulatorConfig};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
-use tb_core::{RecordedBitOracle, SystemConfig};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use tb_core::{FaultPlan, QuarantineConfig, RecordedBitOracle, SystemConfig};
+use tb_faults::FaultSummary;
 use tb_workloads::{AppSpec, AppTrace};
 
 /// One cell of the experiment matrix.
@@ -39,17 +41,56 @@ pub struct Cell {
     pub seed: u64,
     /// The barrier system configuration.
     pub config: SystemConfig,
+    /// Fault plan injected into this cell's simulation (`None`, or a
+    /// disabled plan, runs the clean simulator path).
+    pub faults: Option<FaultPlan>,
 }
 
 impl Cell {
-    /// Creates a cell.
+    /// Creates a fault-free cell.
     pub fn new(app: AppSpec, nodes: u16, seed: u64, config: SystemConfig) -> Self {
         Cell {
             app,
             nodes,
             seed,
             config,
+            faults: None,
         }
+    }
+
+    /// Attaches a fault plan to the cell.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+}
+
+/// The result of one panic-isolated cell: the report (or the panic message
+/// if the cell died) together with its injected-fault/recovery tallies.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// The run report, or the panic message of a cell that panicked.
+    pub report: Result<RunReport, String>,
+    /// Fault-injection and recovery tallies for the cell (all zero for
+    /// fault-free or failed cells).
+    pub faults: FaultSummary,
+}
+
+impl CellOutcome {
+    /// Whether the cell panicked instead of producing a report.
+    pub fn is_failed(&self) -> bool {
+        self.report.is_err()
+    }
+}
+
+/// Renders a `catch_unwind` payload as the human-readable panic message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic".to_string()
     }
 }
 
@@ -92,7 +133,11 @@ impl<T> Cache<T> {
     fn get_or_compute(&self, key: Key, compute: impl FnOnce() -> T) -> Arc<T> {
         self.lookups.fetch_add(1, Ordering::Relaxed);
         let cell = {
-            let mut map = self.cells.lock().expect("cache poisoned");
+            // A worker that panicked while holding the lock poisons it, but
+            // the map itself is never left mid-update (entry insertion is
+            // atomic from the map's point of view), so recover the guard
+            // instead of cascading the panic into every later lookup.
+            let mut map = self.cells.lock().unwrap_or_else(PoisonError::into_inner);
             Arc::clone(map.entry(key).or_default())
         };
         // The map lock is released before computing, so a slow fill never
@@ -211,11 +256,26 @@ impl Harness {
     /// Runs one cell, reusing the cached trace and (for Baseline and the
     /// oracle configurations) the cached Baseline run.
     pub fn run_cell(&self, cell: &Cell) -> RunReport {
-        if cell.config == SystemConfig::Baseline {
-            return self
+        self.run_cell_faulted(cell).0
+    }
+
+    /// Runs one cell and also returns its fault tallies.
+    ///
+    /// A cell whose plan is absent or disabled takes exactly the clean
+    /// path (including the shared-Baseline cache shortcut) and reports an
+    /// all-zero [`FaultSummary`]. A faulted cell never reads from or
+    /// writes to the Baseline cache — cached bundles are fault-free by
+    /// definition — though it still shares the trace cache and, for oracle
+    /// configurations, consumes the clean Baseline's oracle (the oracle
+    /// models *prediction* knowledge, not fault knowledge).
+    pub fn run_cell_faulted(&self, cell: &Cell) -> (RunReport, FaultSummary) {
+        let plan = cell.faults.clone().filter(FaultPlan::enabled);
+        if plan.is_none() && cell.config == SystemConfig::Baseline {
+            let report = self
                 .baseline(&cell.app, cell.nodes, cell.seed)
                 .report
                 .clone();
+            return (report, FaultSummary::default());
         }
         let trace = self.trace(&cell.app, cell.nodes, cell.seed);
         let oracle = cell.config.needs_oracle().then(|| {
@@ -223,8 +283,30 @@ impl Harness {
                 .oracle
                 .clone()
         });
-        let cfg = SimulatorConfig::paper_with_nodes(cell.config.name(), cell.nodes);
-        simulate(cfg, &trace, cell.config.algorithm_config(), oracle)
+        let mut cfg = SimulatorConfig::paper_with_nodes(cell.config.name(), cell.nodes);
+        let mut algo = cell.config.algorithm_config();
+        if plan.is_some() {
+            // Under injected faults the predictor needs its misprediction
+            // backstop; quarantine is part of the hardened configuration.
+            algo = algo.with_quarantine(Some(QuarantineConfig::default()));
+        }
+        cfg.faults = plan;
+        simulate_faulted(cfg, &trace, algo, oracle)
+    }
+
+    /// Runs one cell inside `catch_unwind`, converting a panic into a
+    /// failed [`CellOutcome`] instead of unwinding into the pool.
+    fn run_cell_isolated(&self, cell: &Cell) -> CellOutcome {
+        match catch_unwind(AssertUnwindSafe(|| self.run_cell_faulted(cell))) {
+            Ok((report, faults)) => CellOutcome {
+                report: Ok(report),
+                faults,
+            },
+            Err(payload) => CellOutcome {
+                report: Err(panic_message(payload)),
+                faults: FaultSummary::default(),
+            },
+        }
     }
 
     /// Runs every cell and returns the reports **in `cells` order**,
@@ -235,19 +317,39 @@ impl Harness {
     /// write into that index's slot, so the result layout — and therefore
     /// any output rendered from it — is identical at every `jobs` level.
     pub fn run_cells(&self, cells: &[Cell]) -> Vec<RunReport> {
+        self.run_cells_isolated(cells)
+            .into_iter()
+            .map(|outcome| match outcome.report {
+                Ok(report) => report,
+                Err(msg) => panic!("{msg}"),
+            })
+            .collect()
+    }
+
+    /// Runs every cell with per-cell panic isolation and returns the
+    /// outcomes **in `cells` order**, regardless of completion order.
+    ///
+    /// Workers pull the next unclaimed index from a shared counter (cheap
+    /// work stealing: a long cell never blocks the queue behind it) and
+    /// write into that index's slot, so the result layout — and therefore
+    /// any output rendered from it — is identical at every `jobs` level.
+    /// Each cell runs inside `catch_unwind`: a panicking cell becomes a
+    /// failed [`CellOutcome`] carrying the panic message while every other
+    /// cell — and the shared caches — keeps working.
+    pub fn run_cells_isolated(&self, cells: &[Cell]) -> Vec<CellOutcome> {
         let workers = self.jobs.min(cells.len());
         if workers <= 1 {
-            return cells.iter().map(|c| self.run_cell(c)).collect();
+            return cells.iter().map(|c| self.run_cell_isolated(c)).collect();
         }
         let next = AtomicUsize::new(0);
-        let slots: Vec<OnceLock<RunReport>> = cells.iter().map(|_| OnceLock::new()).collect();
+        let slots: Vec<OnceLock<CellOutcome>> = cells.iter().map(|_| OnceLock::new()).collect();
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(cell) = cells.get(i) else { break };
                     slots[i]
-                        .set(self.run_cell(cell))
+                        .set(self.run_cell_isolated(cell))
                         .expect("each index is claimed once");
                 });
             }
@@ -367,5 +469,86 @@ impl AppMatrix {
     /// serial `run_config_matrix` loop produces for one seed.
     pub fn into_flat_reports(self) -> Vec<RunReport> {
         self.reports.into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn app() -> AppSpec {
+        AppSpec::by_name("FMM").unwrap()
+    }
+
+    #[test]
+    fn faulted_cells_bypass_the_baseline_cache() {
+        let harness = Harness::serial();
+        let plan = FaultPlan::by_name("storm", 9).unwrap();
+        let cell = Cell::new(app(), 8, 1, SystemConfig::Baseline).with_faults(plan);
+        let (faulted, summary) = harness.run_cell_faulted(&cell);
+        assert!(summary.injected() > 0, "storm plan injects faults");
+        assert_eq!(
+            harness.baseline_runs(),
+            0,
+            "a faulted Baseline cell must not populate the fault-free cache"
+        );
+        // The clean cell afterwards runs (and caches) the real Baseline,
+        // and differs from the faulted run.
+        let clean = harness.run_cell(&Cell::new(app(), 8, 1, SystemConfig::Baseline));
+        assert_eq!(harness.baseline_runs(), 1);
+        assert!(faulted.wall_time >= clean.wall_time);
+    }
+
+    #[test]
+    fn disabled_plan_takes_the_clean_cached_path() {
+        let harness = Harness::serial();
+        let clean = harness.run_cell(&Cell::new(app(), 8, 1, SystemConfig::Baseline));
+        let cell = Cell::new(app(), 8, 1, SystemConfig::Baseline).with_faults(FaultPlan::none());
+        let (report, summary) = harness.run_cell_faulted(&cell);
+        assert_eq!(summary, FaultSummary::default());
+        assert_eq!(report.wall_time, clean.wall_time);
+        assert_eq!(
+            harness.baseline_runs(),
+            1,
+            "the disabled-plan cell is served from the cache"
+        );
+    }
+
+    #[test]
+    fn panicking_cell_is_isolated_and_reported() {
+        let harness = Harness::new(2);
+        // nodes = 3 is rejected deep inside the machine model (the
+        // hypercube needs a power of two) — an organic panic.
+        let cells = vec![
+            Cell::new(app(), 8, 1, SystemConfig::Thrifty),
+            Cell::new(app(), 3, 1, SystemConfig::Thrifty),
+            Cell::new(app(), 8, 2, SystemConfig::Thrifty),
+        ];
+        let outcomes = harness.run_cells_isolated(&cells);
+        assert_eq!(outcomes.len(), 3);
+        assert!(outcomes[0].report.is_ok());
+        assert!(outcomes[2].report.is_ok());
+        assert!(outcomes[1].is_failed());
+        let msg = outcomes[1].report.as_ref().unwrap_err();
+        assert!(msg.contains("power of two"), "panic message kept: {msg}");
+        // The caches survive the panic: later cells still run normally.
+        let after = harness.run_cell(&Cell::new(app(), 8, 1, SystemConfig::Baseline));
+        assert_eq!(after.config, "Baseline");
+    }
+
+    #[test]
+    fn isolated_and_plain_runs_agree() {
+        let harness = Harness::new(2);
+        let cells: Vec<Cell> = SystemConfig::ALL
+            .into_iter()
+            .map(|c| Cell::new(app(), 8, 1, c))
+            .collect();
+        let outcomes = harness.run_cells_isolated(&cells);
+        let plain = harness.run_cells(&cells);
+        for (outcome, report) in outcomes.iter().zip(&plain) {
+            let ours = outcome.report.as_ref().unwrap();
+            assert_eq!(ours.wall_time, report.wall_time);
+            assert_eq!(outcome.faults, FaultSummary::default());
+        }
     }
 }

@@ -52,6 +52,6 @@ pub mod report;
 pub mod run;
 pub mod sim;
 
-pub use harness::{AppMatrix, BaselineBundle, Cell, Harness};
+pub use harness::{AppMatrix, BaselineBundle, Cell, CellOutcome, Harness};
 pub use report::{AggregateReport, BarrierEventCounts, InstanceRecord, RunReport, SiteSummary};
-pub use sim::{Simulator, SimulatorConfig, TimeSharing};
+pub use sim::{simulate, simulate_faulted, Simulator, SimulatorConfig, TimeSharing};

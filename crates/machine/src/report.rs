@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use tb_energy::{CategoryBreakdown, EnergyCategory, MachineLedger};
+use tb_faults::FaultSummary;
 use tb_sim::{Cycles, OnlineStats};
 use tb_trace::TraceSummary;
 
@@ -220,6 +221,14 @@ pub struct AggregateReport {
     pub imbalance: OnlineStats,
     /// Event counts summed over all seeds.
     pub counts: BarrierEventCounts,
+    /// Injected-fault and recovery tallies summed over all seeds (all zero
+    /// for fault-free sweeps).
+    pub faults: FaultSummary,
+    /// Cells that panicked instead of completing; their panic messages are
+    /// in `failures` and their metrics are absent from every statistic.
+    pub failed_cells: u64,
+    /// Panic messages of the failed cells, in cell order.
+    pub failures: Vec<String>,
 }
 
 impl AggregateReport {
@@ -235,6 +244,9 @@ impl AggregateReport {
             slowdown_vs_baseline: OnlineStats::new(),
             imbalance: OnlineStats::new(),
             counts: BarrierEventCounts::default(),
+            faults: FaultSummary::default(),
+            failed_cells: 0,
+            failures: Vec::new(),
         }
     }
 
@@ -248,6 +260,17 @@ impl AggregateReport {
         self.slowdown_vs_baseline.push(report.slowdown_vs(baseline));
         self.imbalance.push(report.barrier_imbalance());
         self.counts.merge(&report.counts);
+    }
+
+    /// Folds in one seed's fault tallies (see [`AggregateReport::faults`]).
+    pub fn merge_faults(&mut self, faults: &FaultSummary) {
+        self.faults.merge(faults);
+    }
+
+    /// Records a cell that panicked instead of completing.
+    pub fn record_failure(&mut self, message: impl Into<String>) {
+        self.failed_cells += 1;
+        self.failures.push(message.into());
     }
 
     /// Number of replicated seeds folded in so far.

@@ -18,11 +18,14 @@
 //!   sleeps pay real flush time and real upgrade misses afterwards.
 
 use crate::report::{BarrierEventCounts, InstanceRecord, RunReport};
-use tb_core::{AlgorithmConfig, BarrierAlgorithm, BarrierPc, SleepChoice, ThreadId};
+use tb_core::{AlgorithmConfig, BarrierAlgorithm, BarrierPc, FaultPlan, SleepChoice, ThreadId};
 use tb_energy::{EnergyCategory, MachineLedger, PowerModel, SleepStateId};
-use tb_mem::{Addr, BusConfig, CoherentMemory, LineAddr, MachineConfig, NodeId};
+use tb_faults::{FaultInjector, FaultSummary};
+use tb_mem::{
+    Addr, BusConfig, CoherentMemory, InvalidationFaults, LineAddr, MachineConfig, NodeId,
+};
 use tb_sim::{Cycles, EventId, EventQueue, OnlineStats};
-use tb_trace::{SinkHandle, TraceEvent, TraceEventKind};
+use tb_trace::{FaultKind, SinkHandle, TraceEvent, TraceEventKind};
 use tb_workloads::AppTrace;
 
 /// How long one spin-loop iteration takes to notice an invalidated flag
@@ -67,6 +70,12 @@ pub struct SimulatorConfig {
     /// bus SMP instead of the directory CC-NUMA (`machine` is then only
     /// used for its node count bound).
     pub bus: Option<BusConfig>,
+    /// Optional fault plan. A plan with any class enabled injects lost or
+    /// delayed flag invalidations (in the memory substrate), countdown-timer
+    /// drift and spurious fires, and oversleep exit stalls — and arms the
+    /// guard timer that makes every such run terminate. A disabled plan (or
+    /// `None`) leaves every event path byte-identical to a fault-free run.
+    pub faults: Option<FaultPlan>,
     /// Trace sink for per-episode event capture (disabled by default).
     /// The simulator emits the physical events (arrivals, sleep/spin
     /// entries, flushes, wake-ups, departures) with the global episode
@@ -96,6 +105,7 @@ impl SimulatorConfig {
             false_wakeup: None,
             time_sharing: None,
             bus: None,
+            faults: None,
             trace: SinkHandle::disabled(),
         }
     }
@@ -145,16 +155,41 @@ struct Proc {
     timer: Option<EventId>,
     /// The BIT predicted at this episode's arrival (for accuracy stats).
     predicted_bit: Option<Cycles>,
+    /// Guard-timer re-arm interval for this episode (fault runs only).
+    guard_interval: Cycles,
 }
 
 #[derive(Debug, Clone, Copy)]
 enum Event {
-    ComputeDone { tid: usize },
-    TimerFired { tid: usize, episode: usize },
-    TransitionDone { tid: usize },
-    Observe { tid: usize, episode: usize },
-    FalseWake { tid: usize, episode: usize },
-    YieldNow { tid: usize, episode: usize },
+    ComputeDone {
+        tid: usize,
+    },
+    TimerFired {
+        tid: usize,
+        episode: usize,
+    },
+    TransitionDone {
+        tid: usize,
+    },
+    Observe {
+        tid: usize,
+        episode: usize,
+    },
+    FalseWake {
+        tid: usize,
+        episode: usize,
+    },
+    YieldNow {
+        tid: usize,
+        episode: usize,
+    },
+    /// Watchdog armed at barrier entry under fault injection: if the episode
+    /// is released but this thread is still waiting (its wake-up was lost),
+    /// force a recovery; otherwise re-arm.
+    GuardTimer {
+        tid: usize,
+        episode: usize,
+    },
 }
 
 /// The discrete-event machine simulator.
@@ -183,6 +218,10 @@ pub struct Simulator {
     prediction_error: OnlineStats,
     instances: Vec<InstanceRecord>,
     false_wake_rng: Option<tb_sim::SimRng>,
+    /// Executor-side fault source (`None` unless a fault plan is enabled).
+    injector: Option<FaultInjector>,
+    /// Injected-fault and recovery tallies (all zero in fault-free runs).
+    fault_summary: FaultSummary,
     // Cached power values.
     p_compute: f64,
     p_spin: f64,
@@ -222,7 +261,7 @@ impl Simulator {
             "observed thread {} out of range",
             cfg.observed_thread
         );
-        let mem = match &cfg.bus {
+        let mut mem = match &cfg.bus {
             Some(bus_cfg) => {
                 assert!(
                     bus_cfg.nodes as usize >= threads,
@@ -235,6 +274,23 @@ impl Simulator {
         };
         let count_addr = mem.layout().shared_addr(COUNT_PAGE, 0);
         let flag_addr = mem.layout().shared_addr(FLAG_PAGE, 0);
+        let injector = cfg.faults.as_ref().and_then(FaultInjector::from_plan);
+        if let Some(plan) = injector.as_ref().map(FaultInjector::plan) {
+            assert!(
+                cfg.time_sharing.is_none(),
+                "fault injection and §3.4.1 time-sharing are mutually exclusive \
+                 (yielded threads resume only via flag invalidations, which a \
+                 fault plan may drop)"
+            );
+            let mut inv_faults = InvalidationFaults::new(
+                plan.seed,
+                plan.lose_wakeup,
+                plan.delay_wakeup,
+                plan.delay_wakeup_mean_ns,
+            );
+            inv_faults.watch(flag_addr.line());
+            mem.set_faults(inv_faults);
+        }
         let episodes = trace.steps.len();
         let p_compute = cfg.power.compute_watts();
         let p_spin = cfg.power.spin_watts();
@@ -254,6 +310,7 @@ impl Simulator {
                     watcher_armed: false,
                     timer: None,
                     predicted_bit: None,
+                    guard_interval: Cycles::ZERO,
                 })
                 .collect(),
             lock_free_at: Cycles::ZERO,
@@ -275,6 +332,8 @@ impl Simulator {
                 );
                 tb_sim::SimRng::new(seed).derive("false-wake", 0)
             }),
+            injector,
+            fault_summary: FaultSummary::default(),
             p_compute,
             p_spin,
             cfg,
@@ -285,7 +344,15 @@ impl Simulator {
     }
 
     /// Runs the simulation to completion and returns the report.
-    pub fn run(mut self) -> RunReport {
+    pub fn run(self) -> RunReport {
+        self.run_with_faults().0
+    }
+
+    /// Like [`run`](Self::run), but also returns the injected-fault and
+    /// recovery tallies. The summary rides next to the report rather than
+    /// inside it because the serialized `RunReport` shape is frozen by
+    /// golden fixtures; in fault-free runs it is all zeros.
+    pub fn run_with_faults(mut self) -> (RunReport, FaultSummary) {
         for tid in 0..self.trace.threads {
             let dur = self.trace.steps[0].compute[tid];
             self.queue.schedule(dur, Event::ComputeDone { tid });
@@ -298,6 +365,7 @@ impl Simulator {
                 Event::Observe { tid, episode } => self.on_observe(tid, episode, now),
                 Event::FalseWake { tid, episode } => self.on_false_wake(tid, episode, now),
                 Event::YieldNow { tid, episode } => self.on_yield_now(tid, episode, now),
+                Event::GuardTimer { tid, episode } => self.on_guard_timer(tid, episode, now),
             }
         }
         let wall_time = self
@@ -306,12 +374,16 @@ impl Simulator {
             .map(|p| p.depart_time)
             .max()
             .unwrap_or(Cycles::ZERO);
-        debug_assert!(
+        // A real (not debug) assertion: this is the termination oracle for
+        // fault runs — a lost wake-up that the guard timer failed to rescue
+        // drains the queue with a thread still waiting.
+        assert!(
             self.procs.iter().all(|p| p.state == ProcState::Done),
             "simulation drained with live threads"
         );
         self.counts.episodes = self.instances.len() as u64;
-        RunReport {
+        let summary = self.fault_summary;
+        let report = RunReport {
             app: self.trace.app_name.clone(),
             config: self.cfg.config_name.clone(),
             threads: self.trace.threads,
@@ -322,7 +394,8 @@ impl Simulator {
             instances: self.instances,
             observed_thread: self.cfg.observed_thread,
             trace: None,
-        }
+        };
+        (report, summary)
     }
 
     /// The memory system's statistics (after `run`, use the report; this
@@ -350,6 +423,19 @@ impl Simulator {
     #[inline]
     fn emit(&self, tid: usize, at: Cycles, kind: TraceEventKind) {
         self.cfg.trace.emit(TraceEvent::new(at, tid, kind));
+    }
+
+    /// Arms the watchdog for a thread entering a wait state. Only fault
+    /// runs arm guards: a fault-free run's event schedule must stay
+    /// byte-identical with the plumbing present.
+    fn arm_guard(&mut self, tid: usize, episode: usize, now: Cycles, stall: Option<Cycles>) {
+        if self.injector.is_none() {
+            return;
+        }
+        let deadline = tb_faults::guard_deadline(now, stall);
+        self.procs[tid].guard_interval = deadline.saturating_sub(now);
+        self.queue
+            .schedule(deadline, Event::GuardTimer { tid, episode });
     }
 
     // ---- event handlers ---------------------------------------------------
@@ -427,6 +513,28 @@ impl Simulator {
         }
         let decision = self.algo.on_early_arrival(ThreadId::new(tid), pc, now);
         self.procs[tid].predicted_bit = decision.predicted_bit;
+        // Fault (b): skew the countdown timer before it is armed.
+        let wakeup = {
+            let skew = match (&mut self.injector, decision.wakeup.internal_at) {
+                (Some(inj), Some(at)) => inj.timer_skew(at.saturating_sub(now)),
+                _ => None,
+            };
+            if let Some((skew, fault)) = skew {
+                self.fault_summary.record(fault);
+                self.emit(
+                    tid,
+                    now,
+                    TraceEventKind::FaultInjected {
+                        episode: step as u64,
+                        pc: pc.as_u64(),
+                        fault,
+                    },
+                );
+                decision.wakeup.with_skew(now, skew)
+            } else {
+                decision.wakeup
+            }
+        };
         match decision.choice {
             SleepChoice::Spin => {
                 // Conventional path: pull a Shared copy of the flag and
@@ -442,6 +550,7 @@ impl Simulator {
                         pc: pc.as_u64(),
                     },
                 );
+                self.arm_guard(tid, step, now, decision.predicted_stall);
             }
             SleepChoice::Sleep { state, needs_flush } => {
                 let mut t = now;
@@ -478,7 +587,7 @@ impl Simulator {
                 // flag address: read the flag in (registering as sharer so
                 // the release invalidation reaches this node).
                 self.mem.read(node, self.flag_addr, t);
-                self.procs[tid].watcher_armed = decision.wakeup.external;
+                self.procs[tid].watcher_armed = wakeup.external;
                 // Entry transition.
                 let st = self.algo.policy().state(state);
                 let entry_latency = st.transition_latency();
@@ -506,13 +615,14 @@ impl Simulator {
                 };
                 self.queue
                     .schedule(entry_end, Event::TransitionDone { tid });
-                if let Some(at) = decision.wakeup.internal_at {
+                if let Some(at) = wakeup.internal_at {
                     let id = self
                         .queue
                         .schedule(at.max(now), Event::TimerFired { tid, episode: step });
                     self.procs[tid].timer = Some(id);
                 }
                 self.counts.sleeps_by_state[state.index()] += 1;
+                self.arm_guard(tid, step, now, decision.predicted_stall);
             }
         }
     }
@@ -534,11 +644,36 @@ impl Simulator {
         if release.update == tb_core::UpdateOutcome::SkippedInordinate {
             self.counts.updates_skipped += 1;
         }
+        match release.quarantine {
+            Some(true) => self.fault_summary.quarantine_entries += 1,
+            Some(false) => self.fault_summary.quarantine_exits += 1,
+            None => {}
+        }
         self.episode_bits[step] = release.measured_bit;
         self.released[step] = true;
         self.episode_release[step] = now;
         // Flip the flag: the coherence protocol invalidates every sharer.
+        // Under a fault plan the substrate may drop or delay some of the
+        // resulting wake-up signals; attribute those injections now.
         let write = self.mem.write(node, self.flag_addr, now);
+        if self.injector.is_some() {
+            for rec in self.mem.drain_fault_log() {
+                let fault = match rec.kind {
+                    tb_mem::InvalidationFaultKind::Lost => FaultKind::LostWakeup,
+                    tb_mem::InvalidationFaultKind::Delayed(_) => FaultKind::DelayedWakeup,
+                };
+                self.fault_summary.record(fault);
+                self.emit(
+                    rec.node.index(),
+                    rec.at,
+                    TraceEventKind::FaultInjected {
+                        episode: step as u64,
+                        pc: pc.as_u64(),
+                        fault,
+                    },
+                );
+            }
+        }
         self.episode_flip_done[step] = write.completion;
         let obs = self.cfg.observed_thread;
         let observed_compute = self.trace.steps[step].compute[obs];
@@ -662,9 +797,31 @@ impl Simulator {
         if let Some(timer) = self.procs[tid].timer.take() {
             self.queue.cancel(timer);
         }
+        // Fault (c): this exit transition may oversleep — stall past the
+        // state's rated latency.
+        let oversleep = self
+            .injector
+            .as_mut()
+            .and_then(FaultInjector::oversleep_extra);
+        if oversleep.is_some() {
+            self.fault_summary.record(FaultKind::Oversleep);
+            let episode = self.procs[tid].step;
+            self.emit(
+                tid,
+                at,
+                TraceEventKind::FaultInjected {
+                    episode: episode as u64,
+                    pc: self.trace.steps[episode].pc,
+                    fault: FaultKind::Oversleep,
+                },
+            );
+        }
         let st = self.algo.policy().state(state);
         let p_sleep = st.power_watts(self.cfg.power.tdp_max());
-        let exit_latency = st.transition_latency();
+        let exit_latency = match oversleep {
+            Some(extra) => st.stalled_exit(extra),
+            None => st.transition_latency(),
+        };
         self.ledger
             .cpu_mut(tid)
             .record(EnergyCategory::Sleep, at.saturating_sub(since), p_sleep);
@@ -742,11 +899,81 @@ impl Simulator {
                         let at = now.max(self.episode_flip_done[step]) + SPIN_GRAIN;
                         self.queue
                             .schedule(at, Event::Observe { tid, episode: step });
+                    } else {
+                        // The release is still ahead, and under a fault
+                        // plan its wake-up signal may be dropped: the
+                        // residual spin needs its own watchdog.
+                        self.arm_guard(tid, step, now, None);
                     }
                 }
             }
             _ => unreachable!("TransitionDone in a non-transition state"),
         }
+    }
+
+    /// The watchdog fired (fault runs only). If the barrier released but
+    /// this thread is still waiting — its wake-up signal was lost, or the
+    /// delivery is grossly late — force the recovery path; otherwise the
+    /// barrier is simply long, so re-arm and keep waiting.
+    fn on_guard_timer(&mut self, tid: usize, episode: usize, now: Cycles) {
+        if self.procs[tid].step != episode {
+            return; // stale guard from a departed episode
+        }
+        let released = self.released[episode];
+        let pc = self.trace.steps[episode].pc;
+        let recovery = TraceEventKind::GuardRecovery {
+            episode: episode as u64,
+            pc,
+            slept: !matches!(self.procs[tid].state, ProcState::Spinning { .. }),
+        };
+        match self.procs[tid].state {
+            ProcState::Spinning { .. } => {
+                if released {
+                    // The spinner never observed the flipped flag: its
+                    // invalidation was dropped. Re-read the flag now.
+                    self.fault_summary.guard_recoveries += 1;
+                    self.emit(tid, now, recovery);
+                    self.queue
+                        .schedule(now + SPIN_GRAIN, Event::Observe { tid, episode });
+                } else {
+                    self.rearm_guard(tid, episode, now);
+                }
+            }
+            ProcState::Sleeping { state, since } => {
+                if released {
+                    self.fault_summary.guard_recoveries += 1;
+                    self.emit(tid, now, recovery);
+                    self.begin_exit(tid, state, since, now);
+                } else {
+                    self.rearm_guard(tid, episode, now);
+                }
+            }
+            ProcState::EnteringSleep { state, .. } => {
+                if released {
+                    self.fault_summary.guard_recoveries += 1;
+                    self.emit(tid, now, recovery);
+                    self.procs[tid].state = ProcState::EnteringSleep {
+                        state,
+                        wake_pending: true,
+                    };
+                } else {
+                    self.rearm_guard(tid, episode, now);
+                }
+            }
+            ProcState::ExitingSleep => {
+                // Already waking; the transition's completion departs or
+                // re-arms (residual spin). Keep the watchdog alive in case
+                // that path stalls again.
+                self.rearm_guard(tid, episode, now);
+            }
+            ProcState::Computing | ProcState::Yielded { .. } | ProcState::Done => {}
+        }
+    }
+
+    /// Re-arms the watchdog one interval further out.
+    fn rearm_guard(&mut self, tid: usize, episode: usize, now: Cycles) {
+        let at = now + self.procs[tid].guard_interval;
+        self.queue.schedule(at, Event::GuardTimer { tid, episode });
     }
 
     /// The §3.4.1 spin budget expired: hand the CPU to another process.
@@ -872,11 +1099,24 @@ pub fn simulate(
     algo_cfg: AlgorithmConfig,
     oracle: Option<tb_core::RecordedBitOracle>,
 ) -> RunReport {
+    simulate_faulted(cfg, trace, algo_cfg, oracle).0
+}
+
+/// Like [`simulate`], but also returns the run's [`FaultSummary`] — the
+/// injected-fault/recovery side-channel for fault-matrix sweeps. With no
+/// (or a disabled) fault plan the summary is all zeros and the report is
+/// byte-identical to [`simulate`]'s.
+pub fn simulate_faulted(
+    cfg: SimulatorConfig,
+    trace: &AppTrace,
+    algo_cfg: AlgorithmConfig,
+    oracle: Option<tb_core::RecordedBitOracle>,
+) -> (RunReport, FaultSummary) {
     let mut algo = BarrierAlgorithm::new(algo_cfg, trace.threads);
     if let Some(oracle) = oracle {
         algo.install_oracle(oracle);
     }
-    Simulator::new(cfg, trace.clone(), algo).run()
+    Simulator::new(cfg, trace.clone(), algo).run_with_faults()
 }
 
 #[cfg(test)]
@@ -911,6 +1151,7 @@ mod tests {
             false_wakeup: None,
             time_sharing: None,
             bus: None,
+            faults: None,
             trace: SinkHandle::disabled(),
         }
     }
@@ -1232,5 +1473,121 @@ mod tests {
         let trace = tiny_app(2, 100, 0.2).generate(32, 0);
         let algo = BarrierAlgorithm::new(AlgorithmConfig::baseline(), 32);
         let _ = Simulator::new(cfg("x"), trace, algo);
+    }
+
+    // ---- fault injection + hardening --------------------------------------
+
+    fn fault_cfg(name: &str, scenario: &str, seed: u64) -> SimulatorConfig {
+        SimulatorConfig {
+            faults: Some(tb_core::FaultPlan::by_name(scenario, seed).expect("known scenario")),
+            ..cfg(name)
+        }
+    }
+
+    #[test]
+    fn disabled_fault_plan_is_byte_identical() {
+        // Satellite: fault plumbing must be provably zero-cost when off.
+        let trace = tiny_app(12, 3000, 0.30).generate(16, 60);
+        let clean = simulate(cfg("Thrifty"), &trace, AlgorithmConfig::thrifty(), None);
+        let mut c = cfg("Thrifty");
+        c.faults = Some(tb_core::FaultPlan::none());
+        let (gated, summary) = simulate_faulted(c, &trace, AlgorithmConfig::thrifty(), None);
+        assert_eq!(
+            serde::json::to_string(&clean),
+            serde::json::to_string(&gated)
+        );
+        assert_eq!(summary, FaultSummary::default());
+    }
+
+    #[test]
+    fn every_fault_scenario_terminates() {
+        // The acceptance property: under any seeded plan, every episode
+        // releases every thread (run()'s drain assertion is the oracle).
+        let trace = tiny_app(20, 3000, 0.30).generate(16, 61);
+        for scenario in tb_core::FaultPlan::scenario_names() {
+            for seed in [1u64, 42, 1234] {
+                let c = fault_cfg("Thrifty", scenario, seed);
+                let algo = AlgorithmConfig::thrifty()
+                    .with_quarantine(Some(tb_core::QuarantineConfig::default()));
+                let (r, _) = simulate_faulted(c, &trace, algo, None);
+                assert_eq!(r.counts.episodes, 20, "{scenario} seed {seed} completes");
+            }
+        }
+    }
+
+    #[test]
+    fn lost_wakeups_are_rescued_by_the_guard_timer() {
+        let trace = tiny_app(20, 3000, 0.30).generate(16, 62);
+        // External-only wake-ups + lost invalidations: without the guard,
+        // sleepers would hang forever.
+        let algo = AlgorithmConfig::thrifty().with_wakeup(tb_core::WakeupMode::ExternalOnly);
+        let (r, summary) =
+            simulate_faulted(fault_cfg("Thrifty", "lost-wakeup", 7), &trace, algo, None);
+        assert_eq!(r.counts.episodes, 20);
+        assert!(summary.lost_wakeups > 0, "faults actually injected");
+        assert!(
+            summary.guard_recoveries >= summary.lost_wakeups,
+            "every lost signal to a waiter needs a rescue \
+             ({} lost, {} recovered)",
+            summary.lost_wakeups,
+            summary.guard_recoveries
+        );
+        assert_eq!(
+            summary.injected(),
+            summary.lost_wakeups,
+            "single-class plan"
+        );
+    }
+
+    #[test]
+    fn timer_faults_surface_in_the_summary_and_trace() {
+        let trace = tiny_app(20, 3000, 0.30).generate(16, 63);
+        let sink = std::sync::Arc::new(tb_trace::MemorySink::new(16, 65536));
+        let mut c = fault_cfg("Thrifty", "storm", 11);
+        c.trace = SinkHandle::new(sink.clone());
+        let algo =
+            AlgorithmConfig::thrifty().with_quarantine(Some(tb_core::QuarantineConfig::default()));
+        let (r, summary) = simulate_faulted(c, &trace, algo, None);
+        assert_eq!(r.counts.episodes, 20);
+        assert!(summary.injected() > 0, "storm injects across classes");
+        assert!(
+            summary.timer_drifts + summary.spurious_timers > 0,
+            "timer classes fire"
+        );
+        assert!(summary.oversleeps > 0, "oversleep fires");
+        let counts = tb_trace::TraceKindCounts::from_events(&sink.drain_sorted());
+        assert_eq!(counts.faults_injected, summary.injected());
+        assert_eq!(counts.guard_recoveries, summary.guard_recoveries);
+    }
+
+    #[test]
+    fn fault_runs_are_deterministic() {
+        let trace = tiny_app(15, 3000, 0.30).generate(16, 64);
+        let algo = AlgorithmConfig::thrifty();
+        let (a, sa) =
+            simulate_faulted(fault_cfg("Thrifty", "storm", 5), &trace, algo.clone(), None);
+        let (b, sb) = simulate_faulted(fault_cfg("Thrifty", "storm", 5), &trace, algo, None);
+        assert_eq!(a.wall_time, b.wall_time);
+        assert_eq!(sa, sb);
+        let (c, sc) = simulate_faulted(
+            fault_cfg("Thrifty", "storm", 6),
+            &trace,
+            AlgorithmConfig::thrifty(),
+            None,
+        );
+        assert!(a.wall_time != c.wall_time || sa != sc, "seed matters");
+    }
+
+    #[test]
+    #[should_panic(expected = "mutually exclusive")]
+    fn faults_with_time_sharing_rejected() {
+        let trace = tiny_app(2, 100, 0.2).generate(16, 0);
+        let mut c = fault_cfg("x", "storm", 1);
+        c.time_sharing = Some(TimeSharing {
+            spin_before_yield: Cycles::from_micros(50),
+            quantum: Cycles::from_millis(10),
+        });
+        let algo = BarrierAlgorithm::new(AlgorithmConfig::baseline(), 16);
+        let _ = Simulator::new(c, trace, algo);
     }
 }

@@ -92,14 +92,17 @@ fn arb_counts() -> impl Strategy<Value = BarrierEventCounts> {
 }
 
 fn arb_thread_stats() -> impl Strategy<Value = ThreadStats> {
-    proptest::collection::vec(0u64..1_000_000, 7).prop_map(|v| ThreadStats {
+    proptest::collection::vec(0u64..1_000_000, 10).prop_map(|v| ThreadStats {
         spin: Cycles::new(v[0]),
         yielded: Cycles::new(v[1]),
         parked: Cycles::new(v[2]),
-        sleeps: v[3],
-        spins: v[4],
-        early_wakeups: v[5],
-        cutoff_disables: v[6],
+        escalated: Cycles::new(v[3]),
+        sleeps: v[4],
+        spins: v[5],
+        early_wakeups: v[6],
+        spurious_wakeups: v[7],
+        escalations: v[8],
+        cutoff_disables: v[9],
     })
 }
 
@@ -165,15 +168,19 @@ proptest! {
         let combined = RuntimeStats {
             threads: partials.clone(),
             barriers_completed: 0,
+            delayed_unparks: 0,
         }
         .combined();
         let sum = |f: fn(&ThreadStats) -> u64| partials.iter().map(f).sum::<u64>();
         prop_assert_eq!(combined.spin.as_u64(), sum(|t| t.spin.as_u64()));
         prop_assert_eq!(combined.yielded.as_u64(), sum(|t| t.yielded.as_u64()));
         prop_assert_eq!(combined.parked.as_u64(), sum(|t| t.parked.as_u64()));
+        prop_assert_eq!(combined.escalated.as_u64(), sum(|t| t.escalated.as_u64()));
         prop_assert_eq!(combined.sleeps, sum(|t| t.sleeps));
         prop_assert_eq!(combined.spins, sum(|t| t.spins));
         prop_assert_eq!(combined.early_wakeups, sum(|t| t.early_wakeups));
+        prop_assert_eq!(combined.spurious_wakeups, sum(|t| t.spurious_wakeups));
+        prop_assert_eq!(combined.escalations, sum(|t| t.escalations));
         prop_assert_eq!(combined.cutoff_disables, sum(|t| t.cutoff_disables));
         let stall_sum: u64 = partials.iter().map(|t| t.total_stall().as_u64()).sum();
         prop_assert_eq!(combined.total_stall().as_u64(), stall_sum);

@@ -4,6 +4,7 @@
 
 use crate::addr::{Addr, MemLayout, NodeId};
 use crate::bus::{BusConfig, BusMemorySystem};
+use crate::faults::{InvalidationFaultRecord, InvalidationFaults};
 use crate::system::{Access, FlushOutcome, MachineConfig, MemStats, MemorySystem};
 use std::fmt;
 use tb_sim::Cycles;
@@ -78,6 +79,22 @@ impl CoherentMemory {
         match self {
             CoherentMemory::Directory(m) => m.stats(),
             CoherentMemory::Bus(m) => m.stats(),
+        }
+    }
+
+    /// Installs a wake-up fault injector on whichever substrate is active.
+    pub fn set_faults(&mut self, faults: InvalidationFaults) {
+        match self {
+            CoherentMemory::Directory(m) => m.set_faults(faults),
+            CoherentMemory::Bus(m) => m.set_faults(faults),
+        }
+    }
+
+    /// Drains the injector's fault log (empty when no injector is set).
+    pub fn drain_fault_log(&mut self) -> Vec<InvalidationFaultRecord> {
+        match self {
+            CoherentMemory::Directory(m) => m.drain_fault_log(),
+            CoherentMemory::Bus(m) => m.drain_fault_log(),
         }
     }
 }

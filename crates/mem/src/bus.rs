@@ -107,6 +107,8 @@ pub struct BusMemorySystem {
     stats: MemStats,
     /// Reusable buffer for [`BusMemorySystem::flush_dirty_shared`].
     flush_scratch: Vec<LineAddr>,
+    /// Wake-up fault injector (`None` outside fault experiments).
+    faults: Option<crate::faults::InvalidationFaults>,
 }
 
 impl BusMemorySystem {
@@ -127,7 +129,23 @@ impl BusMemorySystem {
             bus_free_at: Cycles::ZERO,
             stats: MemStats::default(),
             flush_scratch: Vec::new(),
+            faults: None,
         }
+    }
+
+    /// Installs a wake-up fault injector. Invalidations of its watched line
+    /// produced by subsequent [`write`](Self::write) calls may be lost or
+    /// delayed; everything else is untouched.
+    pub fn set_faults(&mut self, faults: crate::faults::InvalidationFaults) {
+        self.faults = Some(faults);
+    }
+
+    /// Drains the injector's fault log (empty when no injector is set).
+    pub fn drain_fault_log(&mut self) -> Vec<crate::faults::InvalidationFaultRecord> {
+        self.faults
+            .as_mut()
+            .map(crate::faults::InvalidationFaults::drain_log)
+            .unwrap_or_default()
     }
 
     /// The machine's address layout (homes are irrelevant on a bus; every
@@ -270,7 +288,11 @@ impl BusMemorySystem {
                 invalidations: Vec::new(),
             };
         }
-        self.write_after_l1(node, line, l1, now)
+        let mut access = self.write_after_l1(node, line, l1, now);
+        if let Some(f) = self.faults.as_mut() {
+            f.apply(&mut access.invalidations);
+        }
+        access
     }
 
     /// The non-silent remainder of [`write`](Self::write), entered after the

@@ -1,0 +1,205 @@
+//! Wake-up invalidation faults (fault class (a) of the fault model).
+//!
+//! The thrifty barrier's *external* wake-up (§3.3.1) is the invalidation of
+//! the barrier-flag line, delivered to every sharer when the releaser flips
+//! the flag. [`InvalidationFaults`] makes that delivery unreliable for one
+//! watched line: a signal can be *lost* (dropped from the access's
+//! invalidation list) or *delayed* (its delivery time pushed back).
+//!
+//! Crucially, the perturbation happens *after* the coherence transition:
+//! the sharer's cached copy is already invalidated and the directory/bus
+//! state already updated when the list is edited, so coherence stays
+//! correct — what is lost or late is purely the wake-up *notification*,
+//! exactly the failure a real flag-watch cache-controller extension would
+//! exhibit. (A spinner whose signal was dropped keeps spinning on its
+//! stale local copy until something else makes it re-read the line — which
+//! is why the executor needs a guard timer, not just sleepers.)
+//!
+//! All randomness comes from per-class `SimRng` streams derived from the
+//! fault seed, one Bernoulli draw per watched-line invalidation (plus a
+//! magnitude draw when a delay fires), so a schedule replays identically
+//! regardless of what other fault classes are enabled.
+
+use crate::addr::{LineAddr, NodeId};
+use crate::system::Invalidation;
+use tb_sim::{Cycles, SimRng};
+
+/// What happened to one watched-line invalidation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvalidationFaultKind {
+    /// The wake-up signal was dropped entirely.
+    Lost,
+    /// The wake-up signal was delivered late by the recorded amount.
+    Delayed(Cycles),
+}
+
+/// One injected invalidation fault, for the executor's trace attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidationFaultRecord {
+    /// The node whose wake-up signal was perturbed.
+    pub node: NodeId,
+    /// The original (unperturbed) delivery time.
+    pub at: Cycles,
+    /// What was injected.
+    pub kind: InvalidationFaultKind,
+}
+
+/// Seed-driven lost/delayed-invalidation injector for one watched line.
+#[derive(Debug, Clone)]
+pub struct InvalidationFaults {
+    watched: Option<LineAddr>,
+    lose: f64,
+    delay: f64,
+    delay_mean_ns: f64,
+    lose_rng: SimRng,
+    delay_rng: SimRng,
+    log: Vec<InvalidationFaultRecord>,
+}
+
+impl InvalidationFaults {
+    /// Creates the injector. `lose` and `delay` are per-signal
+    /// probabilities; `delay_mean_ns` is the mean of the exponential delay.
+    /// No line is watched until [`InvalidationFaults::watch`] is called.
+    pub fn new(seed: u64, lose: f64, delay: f64, delay_mean_ns: f64) -> Self {
+        let root = SimRng::new(seed);
+        InvalidationFaults {
+            watched: None,
+            lose,
+            delay,
+            delay_mean_ns,
+            lose_rng: root.derive("fault-inv-lose", 0),
+            delay_rng: root.derive("fault-inv-delay", 0),
+            log: Vec::new(),
+        }
+    }
+
+    /// Sets the watched line (the barrier flag). Invalidations of every
+    /// other line pass through untouched.
+    pub fn watch(&mut self, line: LineAddr) {
+        self.watched = Some(line);
+    }
+
+    /// Perturbs the invalidation list of one access in place, recording
+    /// every injection in the drainable log.
+    pub fn apply(&mut self, invalidations: &mut Vec<Invalidation>) {
+        let Some(watched) = self.watched else { return };
+        if invalidations.is_empty() {
+            return;
+        }
+        invalidations.retain_mut(|inv| {
+            if inv.line != watched {
+                return true;
+            }
+            if self.lose > 0.0 && self.lose_rng.chance(self.lose) {
+                self.log.push(InvalidationFaultRecord {
+                    node: inv.node,
+                    at: inv.at,
+                    kind: InvalidationFaultKind::Lost,
+                });
+                return false;
+            }
+            if self.delay > 0.0 && self.delay_rng.chance(self.delay) {
+                let delta =
+                    Cycles::from_nanos(self.delay_rng.exponential(self.delay_mean_ns) as u64)
+                        .max(Cycles::new(1));
+                self.log.push(InvalidationFaultRecord {
+                    node: inv.node,
+                    at: inv.at,
+                    kind: InvalidationFaultKind::Delayed(delta),
+                });
+                inv.at += delta;
+            }
+            true
+        });
+    }
+
+    /// Drains the injections recorded since the last drain (the executor
+    /// turns them into trace events with thread/episode attribution).
+    pub fn drain_log(&mut self) -> Vec<InvalidationFaultRecord> {
+        std::mem::take(&mut self.log)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inv(node: u16, line: LineAddr, at: u64) -> Invalidation {
+        Invalidation {
+            node: NodeId::new(node),
+            line,
+            at: Cycles::new(at),
+        }
+    }
+
+    fn lines() -> (LineAddr, LineAddr) {
+        let layout = crate::addr::MemLayout::new(4);
+        (
+            layout.shared_addr(0, 0).line(),
+            layout.shared_addr(1, 0).line(),
+        )
+    }
+
+    #[test]
+    fn unwatched_injector_is_inert() {
+        let (flag, _) = lines();
+        let mut f = InvalidationFaults::new(1, 1.0, 1.0, 1000.0);
+        let mut invs = vec![inv(1, flag, 10)];
+        let before = invs.clone();
+        f.apply(&mut invs);
+        assert_eq!(invs, before);
+        assert!(f.drain_log().is_empty());
+    }
+
+    #[test]
+    fn only_the_watched_line_is_perturbed() {
+        let (flag, other) = lines();
+        let mut f = InvalidationFaults::new(1, 1.0, 0.0, 1000.0);
+        f.watch(flag);
+        let mut invs = vec![inv(1, flag, 10), inv(2, other, 20), inv(3, flag, 30)];
+        f.apply(&mut invs);
+        assert_eq!(invs, vec![inv(2, other, 20)], "all flag signals lost");
+        let log = f.drain_log();
+        assert_eq!(log.len(), 2);
+        assert!(log.iter().all(|r| r.kind == InvalidationFaultKind::Lost));
+        assert_eq!(log[0].node, NodeId::new(1));
+        assert!(f.drain_log().is_empty(), "drain empties the log");
+    }
+
+    #[test]
+    fn delays_push_delivery_back_and_are_recorded() {
+        let (flag, _) = lines();
+        let mut f = InvalidationFaults::new(2, 0.0, 1.0, 50_000.0);
+        f.watch(flag);
+        let mut invs = vec![inv(1, flag, 100)];
+        f.apply(&mut invs);
+        assert_eq!(invs.len(), 1);
+        assert!(invs[0].at > Cycles::new(100), "delivery moved later");
+        let log = f.drain_log();
+        assert_eq!(log.len(), 1);
+        match log[0].kind {
+            InvalidationFaultKind::Delayed(d) => {
+                assert_eq!(invs[0].at, Cycles::new(100) + d);
+            }
+            other => panic!("expected a delay, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn schedules_are_seed_deterministic() {
+        let (flag, _) = lines();
+        let run = |seed| {
+            let mut f = InvalidationFaults::new(seed, 0.3, 0.3, 10_000.0);
+            f.watch(flag);
+            let mut out = Vec::new();
+            for i in 0..200 {
+                let mut invs = vec![inv((i % 4) as u16, flag, 100 * i)];
+                f.apply(&mut invs);
+                out.push(invs);
+            }
+            (out, f.drain_log())
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

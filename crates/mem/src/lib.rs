@@ -41,6 +41,7 @@ pub mod backend;
 pub mod bus;
 pub mod cache;
 pub mod dir;
+pub mod faults;
 pub mod mesi;
 pub mod network;
 pub mod system;
@@ -50,6 +51,7 @@ pub use backend::CoherentMemory;
 pub use bus::{BusConfig, BusMemorySystem};
 pub use cache::{Cache, CacheConfig};
 pub use dir::Directory;
+pub use faults::{InvalidationFaultKind, InvalidationFaultRecord, InvalidationFaults};
 pub use mesi::{DirState, LineState, SharerSet};
 pub use network::Hypercube;
 pub use system::{

@@ -18,6 +18,9 @@ pub struct ThreadStats {
     pub yielded: Cycles,
     /// Time spent parked (deep sleep analog).
     pub parked: Cycles,
+    /// Time spent parked on the escalated guard after the residual-spin
+    /// bound (a delayed or lost release broadcast; the hardened path).
+    pub escalated: Cycles,
     /// Barrier episodes in which this thread slept (yield or park).
     pub sleeps: u64,
     /// Barrier episodes in which this thread spun conventionally.
@@ -25,6 +28,10 @@ pub struct ThreadStats {
     /// Episodes where the park timed out before the release (early
     /// wake-up; residual spin followed).
     pub early_wakeups: u64,
+    /// Injected spurious OS wake-ups absorbed by the park predicate loop.
+    pub spurious_wakeups: u64,
+    /// Residual spins that hit the bound and escalated to a guarded park.
+    pub escalations: u64,
     /// §3.3.3 cut-off activations observed by this thread.
     pub cutoff_disables: u64,
 }
@@ -32,7 +39,7 @@ pub struct ThreadStats {
 impl ThreadStats {
     /// Total stall time at barriers.
     pub fn total_stall(&self) -> Cycles {
-        self.spin + self.yielded + self.parked
+        self.spin + self.yielded + self.parked + self.escalated
     }
 
     /// The fraction of stall time the core was *freed* (parked) rather
@@ -51,9 +58,12 @@ impl ThreadStats {
         self.spin += other.spin;
         self.yielded += other.yielded;
         self.parked += other.parked;
+        self.escalated += other.escalated;
         self.sleeps += other.sleeps;
         self.spins += other.spins;
         self.early_wakeups += other.early_wakeups;
+        self.spurious_wakeups += other.spurious_wakeups;
+        self.escalations += other.escalations;
         self.cutoff_disables += other.cutoff_disables;
     }
 }
@@ -80,6 +90,8 @@ pub struct RuntimeStats {
     pub threads: Vec<ThreadStats>,
     /// Barrier episodes completed.
     pub barriers_completed: u64,
+    /// Injected delayed-unpark faults taken by releasers.
+    pub delayed_unparks: u64,
 }
 
 impl RuntimeStats {
@@ -140,6 +152,7 @@ mod tests {
                 },
             ],
             barriers_completed: 4,
+            delayed_unparks: 0,
         };
         assert_eq!(stats.combined().parked, Cycles::from_micros(30));
     }

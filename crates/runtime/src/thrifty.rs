@@ -13,10 +13,22 @@ use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
-use tb_core::{AlgorithmConfig, BarrierAlgorithm, BarrierPc, SleepChoice, ThreadId};
+use tb_core::{AlgorithmConfig, BarrierAlgorithm, BarrierPc, FaultPlan, SleepChoice, ThreadId};
 use tb_energy::{SleepState, SleepStateId, SleepTable};
+use tb_faults::FaultInjector;
 use tb_sim::Cycles;
 use tb_trace::{SinkHandle, SpscSink, TraceEvent, TraceEventKind};
+
+/// Residual-spin iterations before the spinner stops burning its core and
+/// escalates to a guarded park (see [`ESCALATE_GUARD`]). On a healthy
+/// barrier the flip lands orders of magnitude sooner; only a lost or
+/// badly delayed release broadcast reaches the bound.
+const RESIDUAL_SPIN_BOUND: u32 = 1 << 18;
+
+/// Re-check period of the escalated park: the runtime guard timer. A
+/// missed broadcast costs at most one period per re-arm, so every episode
+/// terminates even if the condvar signal is lost entirely.
+const ESCALATE_GUARD: Duration = Duration::from_micros(200);
 
 /// The OS-level sleep-state table: a yield loop (shallow) and a timed park
 /// (deep).
@@ -78,6 +90,8 @@ struct Inner {
     barriers: AtomicU64,
     trace: SinkHandle,
     sink: Option<Arc<SpscSink>>,
+    faults: Option<Mutex<FaultInjector>>,
+    delayed_unparks: AtomicU64,
 }
 
 /// A reusable thrifty barrier for a fixed set of OS threads.
@@ -131,6 +145,20 @@ impl ThriftyRuntimeBarrier {
         ThriftyRuntimeBarrier::build(total, cfg, Some(sink))
     }
 
+    /// Creates a barrier with seed-driven fault injection: spurious park
+    /// wake-ups (absorbed by the predicate loop) and delayed release
+    /// broadcasts (the unpark-analog delay), per `plan`. A disabled plan
+    /// yields a plain barrier.
+    ///
+    /// # Panics
+    ///
+    /// As [`ThriftyRuntimeBarrier::with_config`].
+    pub fn with_faults(total: usize, cfg: AlgorithmConfig, plan: &FaultPlan) -> Self {
+        let mut barrier = ThriftyRuntimeBarrier::build(total, cfg, None);
+        barrier.inner.faults = FaultInjector::from_plan(plan).map(Mutex::new);
+        barrier
+    }
+
     fn build(total: usize, cfg: AlgorithmConfig, sink: Option<Arc<SpscSink>>) -> Self {
         assert!(total > 0, "a barrier needs at least one thread");
         assert!(
@@ -158,6 +186,8 @@ impl ThriftyRuntimeBarrier {
                 barriers: AtomicU64::new(0),
                 trace,
                 sink,
+                faults: None,
+                delayed_unparks: AtomicU64::new(0),
             },
         }
     }
@@ -185,6 +215,7 @@ impl ThriftyRuntimeBarrier {
         RuntimeStats {
             threads: self.inner.stats.iter().map(|s| *s.lock()).collect(),
             barriers_completed: self.inner.barriers.load(Ordering::Acquire),
+            delayed_unparks: self.inner.delayed_unparks.load(Ordering::Acquire),
         }
     }
 
@@ -278,15 +309,38 @@ impl ThriftyRuntimeBarrier {
         // iterations — without this, spinners can starve the releaser on
         // small machines.
         let mut iterations = 0u32;
+        let mut escalated_at: Option<Cycles> = None;
         while inner.sense.load(Ordering::Acquire) != local_sense {
             std::hint::spin_loop();
             iterations += 1;
             if iterations.is_multiple_of(4096) {
                 std::thread::yield_now();
             }
+            if iterations >= RESIDUAL_SPIN_BOUND {
+                // The flip is overdue — a delayed or lost release signal.
+                // Stop burning the core: park on the condvar, re-arming a
+                // guard timeout so even a missed broadcast terminates.
+                escalated_at = Some(inner.clock.now());
+                let mut guard = inner.gate.lock();
+                while inner.sense.load(Ordering::Acquire) != local_sense {
+                    let _ = inner.condvar.wait_for(&mut guard, ESCALATE_GUARD);
+                }
+                drop(guard);
+                break;
+            }
         }
         let departed = inner.clock.now();
-        inner.stats[thread].lock().spin += departed.saturating_sub(spin_since);
+        {
+            let mut stats = inner.stats[thread].lock();
+            match escalated_at {
+                Some(since) => {
+                    stats.spin += since.saturating_sub(spin_since);
+                    stats.escalated += departed.saturating_sub(since);
+                    stats.escalations += 1;
+                }
+                None => stats.spin += departed.saturating_sub(spin_since),
+            }
+        }
         let finish = inner
             .algo
             .lock()
@@ -335,6 +389,16 @@ impl ThriftyRuntimeBarrier {
             let _g = inner.gate.lock();
             inner.sense.store(local_sense, Ordering::Release);
         }
+        // Fault (d): a delayed unpark analog — the flip is visible (spinners
+        // proceed) but the broadcast that actually wakes parked threads is
+        // held back. Parked threads ride their internal timeout or the
+        // escalated guard until it lands.
+        if let Some(faults) = &inner.faults {
+            if let Some(delay) = faults.lock().unpark_delay() {
+                inner.delayed_unparks.fetch_add(1, Ordering::AcqRel);
+                std::thread::sleep(Duration::from_nanos(delay.as_u64()));
+            }
+        }
         inner.condvar.notify_all();
         let finish = algo.finish_barrier(tid, pc, inner.clock.now());
         drop(algo);
@@ -370,9 +434,23 @@ impl ThriftyRuntimeBarrier {
     ) -> (Cycles, bool, bool) {
         let inner = &self.inner;
         let start = inner.clock.now();
+        let mut spurious = 0u64;
         let mut guard = inner.gate.lock();
         let mut timed_out = false;
         while inner.sense.load(Ordering::Acquire) != local_sense {
+            // Fault (b), runtime flavor: a spurious OS wake-up — the wait
+            // returns almost immediately without a signal. The predicate
+            // loop absorbs it; the tiny timed wait releases the gate so the
+            // releaser is never blocked by injection.
+            let is_spurious = inner
+                .faults
+                .as_ref()
+                .is_some_and(|f| f.lock().spurious_park_wake());
+            if is_spurious {
+                spurious += 1;
+                let _ = inner.condvar.wait_for(&mut guard, Duration::from_micros(1));
+                continue;
+            }
             match deadline {
                 Some(at) => {
                     let now = inner.clock.now();
@@ -386,7 +464,11 @@ impl ThriftyRuntimeBarrier {
                         break;
                     }
                 }
-                None => inner.condvar.wait(&mut guard),
+                None => {
+                    // Even an untimed park gets the guard period: a lost
+                    // broadcast must not strand the thread forever.
+                    let _ = inner.condvar.wait_for(&mut guard, ESCALATE_GUARD);
+                }
             }
         }
         drop(guard);
@@ -394,6 +476,7 @@ impl ThriftyRuntimeBarrier {
         let early = timed_out && inner.sense.load(Ordering::Acquire) != local_sense;
         let mut stats = inner.stats[thread].lock();
         stats.parked += woke.saturating_sub(start);
+        stats.spurious_wakeups += spurious;
         if early {
             stats.early_wakeups += 1;
         }

@@ -1,0 +1,168 @@
+//! Property tests for the hardened real-threads barrier under injected
+//! faults: spurious OS wake-ups and delayed release broadcasts (unpark
+//! analogs) must never break release-exactly-once semantics, and the
+//! time-in-state accounting must stay internally consistent and bounded by
+//! wall clock.
+
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tb_core::{AlgorithmConfig, BarrierPc, FaultPlan};
+use tb_runtime::{RuntimeSleepLevels, ThriftyRuntimeBarrier, WaitOutcome};
+use tb_sim::Cycles;
+
+const PC: BarrierPc = BarrierPc::new(0xFA17);
+
+fn faulted_barrier(threads: usize, seed: u64) -> ThriftyRuntimeBarrier {
+    let plan = FaultPlan {
+        seed,
+        spurious_fire: 0.3,
+        delay_unpark: 0.4,
+        delay_unpark_mean_ns: 20_000.0,
+        ..FaultPlan::none()
+    };
+    let cfg = AlgorithmConfig {
+        sleep_table: RuntimeSleepLevels::table(),
+        ..AlgorithmConfig::thrifty()
+    };
+    ThriftyRuntimeBarrier::with_faults(threads, cfg, &plan)
+}
+
+/// Runs `episodes` barrier episodes on `threads` OS threads, asserting
+/// inside each thread that every episode's counter reaches exactly
+/// `threads` before its `wait` returns — the release-exactly-once check.
+fn run_episodes(
+    barrier: &Arc<ThriftyRuntimeBarrier>,
+    threads: usize,
+    episodes: usize,
+) -> Vec<Vec<WaitOutcome>> {
+    let counters: Arc<Vec<AtomicUsize>> =
+        Arc::new((0..episodes).map(|_| AtomicUsize::new(0)).collect());
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let b = Arc::clone(barrier);
+            let counters = Arc::clone(&counters);
+            std::thread::spawn(move || {
+                let mut outs = Vec::with_capacity(episodes);
+                for e in 0..episodes {
+                    if t == 0 {
+                        // A straggler, so the others learn to park and the
+                        // fault paths (park waits, broadcasts) are exercised.
+                        std::thread::sleep(Duration::from_micros(400));
+                    }
+                    counters[e].fetch_add(1, Ordering::SeqCst);
+                    let out = b.wait(t, PC);
+                    assert_eq!(
+                        counters[e].load(Ordering::SeqCst),
+                        threads,
+                        "episode {e} released before every thread arrived"
+                    );
+                    outs.push(out);
+                }
+                outs
+            })
+        })
+        .collect();
+    handles
+        .into_iter()
+        .map(|h| h.join().expect("worker thread panicked"))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn faulted_episodes_release_every_thread_exactly_once(
+        seed in any::<u64>(),
+        threads in 2usize..5,
+        episodes in 4usize..10,
+    ) {
+        let barrier = Arc::new(faulted_barrier(threads, seed));
+        let t0 = Instant::now();
+        let outcomes = run_episodes(&barrier, threads, episodes);
+        let wall = Cycles::from_nanos(t0.elapsed().as_nanos() as u64);
+        let stats = barrier.stats();
+
+        prop_assert_eq!(stats.barriers_completed, episodes as u64);
+        let releasers: usize = outcomes
+            .iter()
+            .flatten()
+            .filter(|o| o.was_last)
+            .count();
+        prop_assert_eq!(releasers, episodes, "exactly one releaser per episode");
+
+        for (t, outs) in outcomes.iter().enumerate() {
+            prop_assert_eq!(outs.len(), episodes, "thread {} returned once per episode", t);
+            let ts = &stats.threads[t];
+            let was_last = outs.iter().filter(|o| o.was_last).count() as u64;
+            // Every early arrival is accounted exactly once as a spin or a
+            // sleep episode, even with faults injected.
+            prop_assert_eq!(ts.spins + ts.sleeps, episodes as u64 - was_last);
+            // The per-state decomposition is the stall total...
+            prop_assert_eq!(
+                ts.total_stall(),
+                ts.spin + ts.yielded + ts.parked + ts.escalated
+            );
+            // ...never exceeds what the wait calls themselves measured...
+            let measured = outs
+                .iter()
+                .fold(Cycles::ZERO, |acc, o| acc + o.stall);
+            prop_assert!(
+                ts.total_stall() <= measured,
+                "thread {} accounted {} but measured only {}",
+                t, ts.total_stall(), measured
+            );
+            // ...and never exceeds wall time.
+            prop_assert!(ts.total_stall() <= wall);
+        }
+    }
+}
+
+#[test]
+fn delayed_broadcasts_are_survived() {
+    // High-probability, long unpark delays: parked threads must still come
+    // back (via their internal timer or the escalated guard) every episode.
+    let threads = 3;
+    let episodes = 8;
+    let plan = FaultPlan {
+        seed: 7,
+        delay_unpark: 1.0,
+        delay_unpark_mean_ns: 300_000.0,
+        ..FaultPlan::none()
+    };
+    let cfg = AlgorithmConfig {
+        sleep_table: RuntimeSleepLevels::table(),
+        ..AlgorithmConfig::thrifty()
+    };
+    let barrier = Arc::new(ThriftyRuntimeBarrier::with_faults(threads, cfg, &plan));
+    let outcomes = run_episodes(&barrier, threads, episodes);
+    assert_eq!(outcomes.len(), threads);
+    let stats = barrier.stats();
+    assert_eq!(stats.barriers_completed, episodes as u64);
+    assert!(
+        stats.delayed_unparks > 0,
+        "every release should draw a delayed unpark"
+    );
+}
+
+#[test]
+fn overdue_release_escalates_the_residual_spin() {
+    // One thread arrives ~30 ms before the releaser: its warm-up residual
+    // spin hits the bound and escalates to the guarded park instead of
+    // burning the core for the whole gap.
+    let barrier = Arc::new(ThriftyRuntimeBarrier::new(2));
+    let b = Arc::clone(&barrier);
+    let h = std::thread::spawn(move || b.wait(1, PC));
+    std::thread::sleep(Duration::from_millis(30));
+    barrier.wait(0, PC);
+    h.join().unwrap();
+    let stats = barrier.stats();
+    let t1 = &stats.threads[1];
+    assert!(
+        t1.escalations >= 1,
+        "the long residual spin should escalate: {t1:?}"
+    );
+    assert!(t1.escalated > Cycles::ZERO);
+}

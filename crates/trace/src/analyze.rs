@@ -44,6 +44,14 @@ pub struct TraceKindCounts {
     pub departs: u64,
     /// §3.3.3 cut-off trips.
     pub cutoff_disables: u64,
+    /// Faults injected by the `tb-faults` layer.
+    pub faults_injected: u64,
+    /// Guard-timer rescues of threads whose wake-up path failed.
+    pub guard_recoveries: u64,
+    /// Barrier sites entering predictor quarantine.
+    pub quarantine_enters: u64,
+    /// Barrier sites leaving predictor quarantine.
+    pub quarantine_leaves: u64,
 }
 
 impl TraceKindCounts {
@@ -70,6 +78,10 @@ impl TraceKindCounts {
                 }
                 TraceEventKind::Depart { .. } => c.departs += 1,
                 TraceEventKind::CutoffDisable { .. } => c.cutoff_disables += 1,
+                TraceEventKind::FaultInjected { .. } => c.faults_injected += 1,
+                TraceEventKind::GuardRecovery { .. } => c.guard_recoveries += 1,
+                TraceEventKind::Quarantine { entered: true, .. } => c.quarantine_enters += 1,
+                TraceEventKind::Quarantine { entered: false, .. } => c.quarantine_leaves += 1,
             }
         }
         c
@@ -90,6 +102,10 @@ impl TraceKindCounts {
             + self.releases
             + self.departs
             + self.cutoff_disables
+            + self.faults_injected
+            + self.guard_recoveries
+            + self.quarantine_enters
+            + self.quarantine_leaves
     }
 }
 
@@ -365,6 +381,55 @@ mod tests {
         assert_eq!(c.releases, 1);
         assert_eq!(c.releases_update_skipped, 1);
         assert_eq!(c.total(), 3);
+        assert_eq!(c.total(), events.len() as u64);
+    }
+
+    #[test]
+    fn kind_counts_tally_fault_events() {
+        use crate::event::FaultKind;
+        let events = vec![
+            ev(
+                1,
+                0,
+                TraceEventKind::FaultInjected {
+                    episode: 0,
+                    pc: 1,
+                    fault: FaultKind::LostWakeup,
+                },
+            ),
+            ev(
+                2,
+                0,
+                TraceEventKind::GuardRecovery {
+                    episode: 0,
+                    pc: 1,
+                    slept: true,
+                },
+            ),
+            ev(
+                3,
+                0,
+                TraceEventKind::Quarantine {
+                    episode: 1,
+                    pc: 1,
+                    entered: true,
+                },
+            ),
+            ev(
+                4,
+                0,
+                TraceEventKind::Quarantine {
+                    episode: 5,
+                    pc: 1,
+                    entered: false,
+                },
+            ),
+        ];
+        let c = TraceKindCounts::from_events(&events);
+        assert_eq!(c.faults_injected, 1);
+        assert_eq!(c.guard_recoveries, 1);
+        assert_eq!(c.quarantine_enters, 1);
+        assert_eq!(c.quarantine_leaves, 1);
         assert_eq!(c.total(), events.len() as u64);
     }
 

@@ -4,6 +4,39 @@
 use serde::{Deserialize, Serialize};
 use tb_sim::Cycles;
 
+/// The class of an injected fault (see `tb-faults`). Lives here so every
+/// layer that records a [`TraceEventKind::FaultInjected`] event shares one
+/// vocabulary without depending on the injection crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// A barrier-flag invalidation wake-up signal was dropped.
+    LostWakeup,
+    /// A barrier-flag invalidation wake-up signal was delivered late.
+    DelayedWakeup,
+    /// A countdown timer drifted from its programmed target.
+    TimerDrift,
+    /// A countdown timer fired spuriously early.
+    SpuriousTimer,
+    /// A sleep-state exit transition stalled past its rated latency.
+    Oversleep,
+    /// A real-threads `unpark` analog was delayed.
+    DelayedUnpark,
+}
+
+impl FaultKind {
+    /// A stable short name for grouping and export.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::LostWakeup => "lost_wakeup",
+            FaultKind::DelayedWakeup => "delayed_wakeup",
+            FaultKind::TimerDrift => "timer_drift",
+            FaultKind::SpuriousTimer => "spurious_timer",
+            FaultKind::Oversleep => "oversleep",
+            FaultKind::DelayedUnpark => "delayed_unpark",
+        }
+    }
+}
+
 /// What happened at one point of a barrier episode.
 ///
 /// Two producers share this vocabulary with disjoint kinds:
@@ -131,6 +164,35 @@ pub enum TraceEventKind {
         /// The overprediction penalty that tripped it.
         penalty: Cycles,
     },
+    /// The fault-injection layer perturbed this thread's episode.
+    FaultInjected {
+        /// Episode index.
+        episode: u64,
+        /// Barrier site PC.
+        pc: u64,
+        /// Which failure was injected.
+        fault: FaultKind,
+    },
+    /// The guard timer rescued a thread whose primary wake-up path failed.
+    GuardRecovery {
+        /// Episode index.
+        episode: u64,
+        /// Barrier site PC.
+        pc: u64,
+        /// Whether the thread was asleep (vs. stuck spinning on a stale
+        /// flag copy) when the guard fired.
+        slept: bool,
+    },
+    /// A barrier site entered (`entered`) or left predictor quarantine.
+    Quarantine {
+        /// Per-site dynamic instance at the transition.
+        episode: u64,
+        /// Barrier site PC.
+        pc: u64,
+        /// `true` on entry (predictions suppressed), `false` on release
+        /// (confidence rebuilt).
+        entered: bool,
+    },
 }
 
 impl TraceEventKind {
@@ -149,6 +211,9 @@ impl TraceEventKind {
             TraceEventKind::Release { .. } => "release",
             TraceEventKind::Depart { .. } => "depart",
             TraceEventKind::CutoffDisable { .. } => "cutoff_disable",
+            TraceEventKind::FaultInjected { .. } => "fault_injected",
+            TraceEventKind::GuardRecovery { .. } => "guard_recovery",
+            TraceEventKind::Quarantine { .. } => "quarantine",
         }
     }
 
@@ -166,7 +231,10 @@ impl TraceEventKind {
             | TraceEventKind::ResidualSpin { episode, .. }
             | TraceEventKind::Release { episode, .. }
             | TraceEventKind::Depart { episode, .. }
-            | TraceEventKind::CutoffDisable { episode, .. } => episode,
+            | TraceEventKind::CutoffDisable { episode, .. }
+            | TraceEventKind::FaultInjected { episode, .. }
+            | TraceEventKind::GuardRecovery { episode, .. }
+            | TraceEventKind::Quarantine { episode, .. } => episode,
         }
     }
 
@@ -184,7 +252,10 @@ impl TraceEventKind {
             | TraceEventKind::ResidualSpin { pc, .. }
             | TraceEventKind::Release { pc, .. }
             | TraceEventKind::Depart { pc, .. }
-            | TraceEventKind::CutoffDisable { pc, .. } => pc,
+            | TraceEventKind::CutoffDisable { pc, .. }
+            | TraceEventKind::FaultInjected { pc, .. }
+            | TraceEventKind::GuardRecovery { pc, .. }
+            | TraceEventKind::Quarantine { pc, .. } => pc,
         }
     }
 }
@@ -263,6 +334,21 @@ mod tests {
                 pc: 7,
                 penalty: Cycles::new(2),
             },
+            TraceEventKind::FaultInjected {
+                episode: 3,
+                pc: 7,
+                fault: FaultKind::LostWakeup,
+            },
+            TraceEventKind::GuardRecovery {
+                episode: 3,
+                pc: 7,
+                slept: true,
+            },
+            TraceEventKind::Quarantine {
+                episode: 3,
+                pc: 7,
+                entered: true,
+            },
         ];
         let mut names = std::collections::BTreeSet::new();
         for k in kinds {
@@ -270,7 +356,21 @@ mod tests {
             assert_eq!(k.pc(), 7);
             names.insert(k.name());
         }
-        assert_eq!(names.len(), 12, "names are distinct");
+        assert_eq!(names.len(), 15, "names are distinct");
+    }
+
+    #[test]
+    fn fault_kind_names_are_distinct() {
+        let kinds = [
+            FaultKind::LostWakeup,
+            FaultKind::DelayedWakeup,
+            FaultKind::TimerDrift,
+            FaultKind::SpuriousTimer,
+            FaultKind::Oversleep,
+            FaultKind::DelayedUnpark,
+        ];
+        let names: std::collections::BTreeSet<_> = kinds.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), kinds.len());
     }
 
     #[test]

@@ -84,6 +84,15 @@ fn args_for(kind: &TraceEventKind) -> Value {
         TraceEventKind::CutoffDisable { penalty, .. } => {
             fields.push(("penalty", Value::U64(penalty.as_u64())));
         }
+        TraceEventKind::FaultInjected { fault, .. } => {
+            fields.push(("fault", Value::Str(fault.name().into())));
+        }
+        TraceEventKind::GuardRecovery { slept, .. } => {
+            fields.push(("slept", Value::Bool(slept)));
+        }
+        TraceEventKind::Quarantine { entered, .. } => {
+            fields.push(("entered", Value::Bool(entered)));
+        }
         TraceEventKind::SpinStart { .. }
         | TraceEventKind::InternalWake { .. }
         | TraceEventKind::ExternalWake { .. }

@@ -49,7 +49,7 @@ pub use analyze::{
     PcAccuracy, PredictionAccuracyReport, TraceKindCounts, TraceSummary, WakeLatencyReport,
     WakeLatencySummary,
 };
-pub use event::{TraceEvent, TraceEventKind};
+pub use event::{FaultKind, TraceEvent, TraceEventKind};
 pub use export::{perfetto_instant_count, to_jsonl, to_perfetto};
 pub use ring::{EventRing, SpscRing};
 pub use sink::{MemorySink, NullSink, SinkHandle, SpscSink, TraceSink};

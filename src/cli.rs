@@ -4,7 +4,9 @@
 //! unit-testable and integration tests can build the exact option sets the
 //! binary would.
 
+use tb_core::{FaultPlan, SystemConfig};
 use tb_machine::run::PAPER_SEED;
+use tb_workloads::AppSpec;
 
 /// Parsed command options (the flags shared by every subcommand).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,6 +29,9 @@ pub struct Options {
     pub format: String,
     /// Per-thread trace ring capacity (events).
     pub ring: usize,
+    /// Fault scenario name for `sweep --faults` (validated against
+    /// [`FaultPlan::scenario_names`] at parse time).
+    pub faults: Option<String>,
 }
 
 impl Default for Options {
@@ -41,6 +46,7 @@ impl Default for Options {
             out: None,
             format: "perfetto".to_string(),
             ring: 1 << 16,
+            faults: None,
         }
     }
 }
@@ -51,6 +57,40 @@ impl Options {
     pub fn seed_list(&self) -> Vec<u64> {
         (0..self.seeds).map(|i| self.seed.wrapping_add(i)).collect()
     }
+}
+
+/// Resolves an application by name (case-insensitive).
+///
+/// # Errors
+///
+/// Unknown names are rejected with the list of valid application names.
+pub fn app_by_name(name: &str) -> Result<AppSpec, String> {
+    AppSpec::splash2()
+        .into_iter()
+        .find(|a| a.name.eq_ignore_ascii_case(name))
+        .ok_or_else(|| {
+            let options: Vec<String> = AppSpec::splash2().into_iter().map(|a| a.name).collect();
+            format!(
+                "unknown application {name:?} (options: {})",
+                options.join(", ")
+            )
+        })
+}
+
+/// Resolves a system configuration by name or single-letter code
+/// (case-insensitive on names).
+///
+/// # Errors
+///
+/// Unknown names are rejected with the list of valid configuration names.
+pub fn config_by_name(name: &str) -> Result<SystemConfig, String> {
+    SystemConfig::ALL
+        .into_iter()
+        .find(|c| c.name().eq_ignore_ascii_case(name) || c.letter().to_string() == name)
+        .ok_or_else(|| {
+            let options: Vec<&str> = SystemConfig::ALL.iter().map(|c| c.name()).collect();
+            format!("unknown config {name:?} (options: {})", options.join(", "))
+        })
 }
 
 /// Parses the option tail of a subcommand.
@@ -113,6 +153,16 @@ pub fn parse_options(args: &[String]) -> Result<Options, String> {
                 if opts.ring == 0 {
                     return Err("ring capacity must be positive".to_string());
                 }
+            }
+            "--faults" => {
+                let v = it.next().ok_or("--faults needs a value")?;
+                if FaultPlan::by_name(v, 0).is_none() {
+                    return Err(format!(
+                        "unknown fault scenario {v:?} (options: {})",
+                        FaultPlan::scenario_names().join(", ")
+                    ));
+                }
+                opts.faults = Some(v.clone());
             }
             other => return Err(format!("unknown option {other:?}")),
         }
@@ -198,5 +248,54 @@ mod tests {
         assert!(parse(&["--seeds", "0"]).unwrap_err().contains("at least 1"));
         assert!(parse(&["--jobs", "-1"]).is_err());
         assert!(parse(&["--seeds"]).is_err(), "missing value");
+    }
+
+    #[test]
+    fn accepts_every_named_fault_scenario() {
+        for name in FaultPlan::scenario_names() {
+            let opts = parse(&["--faults", name]).unwrap();
+            assert_eq!(opts.faults.as_deref(), Some(*name));
+        }
+        // Case-insensitive, like the other name lookups.
+        assert!(parse(&["--faults", "STORM"]).is_ok());
+    }
+
+    #[test]
+    fn rejects_unknown_fault_scenario_listing_options() {
+        let err = parse(&["--faults", "meteor"]).unwrap_err();
+        assert!(err.contains("unknown fault scenario"), "{err}");
+        for name in FaultPlan::scenario_names() {
+            assert!(err.contains(name), "error lists {name:?}: {err}");
+        }
+        assert!(parse(&["--faults"]).is_err(), "missing value");
+    }
+
+    #[test]
+    fn unknown_app_error_lists_every_application() {
+        let err = app_by_name("Raytrace").unwrap_err();
+        assert!(err.contains("unknown application"), "{err}");
+        for app in AppSpec::splash2() {
+            assert!(err.contains(&app.name), "error lists {:?}: {err}", app.name);
+        }
+        assert_eq!(app_by_name("ocean").unwrap().name, "Ocean", "case folded");
+    }
+
+    #[test]
+    fn unknown_config_error_lists_every_configuration() {
+        let err = config_by_name("Frugal").unwrap_err();
+        assert!(err.contains("unknown config"), "{err}");
+        for config in SystemConfig::ALL {
+            assert!(err.contains(config.name()), "error lists {}", config.name());
+        }
+        assert_eq!(
+            config_by_name("thrifty").unwrap(),
+            SystemConfig::Thrifty,
+            "case folded"
+        );
+        assert_eq!(
+            config_by_name(&SystemConfig::Ideal.letter().to_string()).unwrap(),
+            SystemConfig::Ideal,
+            "single-letter code"
+        );
     }
 }

@@ -3,7 +3,7 @@
 //! ```text
 //! thrifty-barrier list
 //! thrifty-barrier run <app> [--nodes N] [--seed S] [--seeds K] [--jobs J] [--config NAME] [--json]
-//! thrifty-barrier sweep [--nodes N] [--seed S] [--seeds K] [--jobs J] [--json]
+//! thrifty-barrier sweep [--nodes N] [--seed S] [--seeds K] [--jobs J] [--json] [--faults SCENARIO]
 //! thrifty-barrier cutoff [--nodes N] [--seed S]
 //! thrifty-barrier trace <app> --out FILE [--format perfetto|jsonl] [--config NAME]
 //! ```
@@ -19,26 +19,13 @@
 //! The full table/figure reproduction lives in the bench targets
 //! (`cargo bench`); this binary is the interactive entry point.
 
-use thrifty_barrier::cli::{parse_options, Options};
-use thrifty_barrier::core::SystemConfig;
-use thrifty_barrier::machine::harness::{Cell, Harness};
+use thrifty_barrier::cli::{app_by_name, config_by_name, parse_options, Options};
+use thrifty_barrier::core::{FaultPlan, SystemConfig};
+use thrifty_barrier::machine::harness::{AppMatrix, Cell, Harness};
 use thrifty_barrier::machine::run::{run_trace_recording, run_trace_with};
 use thrifty_barrier::machine::{AggregateReport, RunReport};
 use thrifty_barrier::trace::PredictionAccuracyReport;
 use thrifty_barrier::workloads::AppSpec;
-
-fn app_by_name(name: &str) -> Result<AppSpec, String> {
-    AppSpec::splash2()
-        .into_iter()
-        .find(|a| a.name.eq_ignore_ascii_case(name))
-        .ok_or_else(|| format!("unknown application {name:?} (try `list`)"))
-}
-
-fn config_by_name(name: &str) -> Option<SystemConfig> {
-    SystemConfig::ALL
-        .into_iter()
-        .find(|c| c.name().eq_ignore_ascii_case(name) || c.letter().to_string() == name)
-}
 
 /// The short column label used in the sweep table (derived from the
 /// config, never from a position).
@@ -118,9 +105,7 @@ fn cmd_run(app_name: &str, opts: &Options) -> Result<(), String> {
     let seeds = opts.seed_list();
     match &opts.config {
         Some(name) => {
-            let sys = config_by_name(name).ok_or_else(|| {
-                format!("unknown config {name:?} (Baseline/Thrifty-Halt/Oracle-Halt/Thrifty/Ideal)")
-            })?;
+            let sys = config_by_name(name)?;
             let cells: Vec<Cell> = seeds
                 .iter()
                 .map(|&s| Cell::new(app.clone(), opts.nodes, s, sys))
@@ -168,13 +153,26 @@ fn cmd_run(app_name: &str, opts: &Options) -> Result<(), String> {
 }
 
 fn cmd_sweep(opts: &Options) {
-    let harness = Harness::new(opts.jobs);
-    let configs = SystemConfig::ALL;
-    let seeds = opts.seed_list();
-    let matrix = harness.run_matrix(&AppSpec::splash2(), &configs, opts.nodes, &seeds);
-    if opts.json {
+    match opts.faults.as_deref() {
+        // "none" (a disabled plan) still routes through the fault-cell
+        // plumbing — by construction it must render the identical table.
+        Some(scenario) => cmd_sweep_faults(scenario, opts),
+        None => {
+            let harness = Harness::new(opts.jobs);
+            let seeds = opts.seed_list();
+            let matrix =
+                harness.run_matrix(&AppSpec::splash2(), &SystemConfig::ALL, opts.nodes, &seeds);
+            render_sweep(&matrix, &SystemConfig::ALL, &seeds, opts.json);
+        }
+    }
+}
+
+/// Renders the sweep result: flat-report JSON or the per-app table.
+fn render_sweep(matrix: &[AppMatrix], configs: &[SystemConfig], seeds: &[u64], json: bool) {
+    if json {
         let all: Vec<RunReport> = matrix
-            .into_iter()
+            .iter()
+            .cloned()
             .flat_map(|m| m.into_flat_reports())
             .collect();
         println!("{}", serde::json::to_string(&all));
@@ -202,7 +200,7 @@ fn cmd_sweep(opts: &Options) {
     }
     header.push_str(&format!(" | {:>8}", "slowdn"));
     println!("{header}");
-    for m in &matrix {
+    for m in matrix {
         let aggs = m.aggregates();
         let base = &aggs[configs
             .iter()
@@ -233,9 +231,139 @@ fn cmd_sweep(opts: &Options) {
     }
 }
 
-fn cmd_cutoff(opts: &Options) {
+/// The fault-matrix sweep: every (app × config × seed) cell runs under the
+/// named fault scenario with per-cell panic isolation. A disabled scenario
+/// ("none") renders the ordinary sweep table from the same plumbing — the
+/// zero-cost-when-disabled guarantee is directly observable as byte-equal
+/// output.
+fn cmd_sweep_faults(scenario: &str, opts: &Options) {
+    let harness = Harness::new(opts.jobs);
+    let configs = SystemConfig::ALL;
+    let seeds = opts.seed_list();
+    let apps = AppSpec::splash2();
+    // Flat cell list in run_matrix's layout (app-major, then config, then
+    // seed); each cell's fault streams are seeded by its workload seed.
+    let mut cells: Vec<Cell> = Vec::with_capacity(apps.len() * configs.len() * seeds.len());
+    for app in &apps {
+        for &config in &configs {
+            for &seed in &seeds {
+                let plan = FaultPlan::by_name(scenario, seed).expect("validated at parse");
+                cells.push(Cell::new(app.clone(), opts.nodes, seed, config).with_faults(plan));
+            }
+        }
+    }
+    let outcomes = harness.run_cells_isolated(&cells);
+    let idx = |a: usize, c: usize, s: usize| (a * configs.len() + c) * seeds.len() + s;
+
+    if !FaultPlan::by_name(scenario, 0)
+        .expect("validated at parse")
+        .enabled()
+    {
+        // Disabled plan: reshape into the ordinary matrix and render the
+        // ordinary sweep, byte-for-byte.
+        let matrix: Vec<AppMatrix> = apps
+            .iter()
+            .enumerate()
+            .map(|(a, app)| AppMatrix {
+                app: app.clone(),
+                configs: configs.to_vec(),
+                seeds: seeds.clone(),
+                reports: configs
+                    .iter()
+                    .enumerate()
+                    .map(|(c, _)| {
+                        seeds
+                            .iter()
+                            .enumerate()
+                            .map(|(s, _)| {
+                                outcomes[idx(a, c, s)]
+                                    .report
+                                    .clone()
+                                    .expect("fault-free cells cannot fail")
+                            })
+                            .collect()
+                    })
+                    .collect(),
+            })
+            .collect();
+        render_sweep(&matrix, &configs, &seeds, opts.json);
+        return;
+    }
+
+    // Aggregate per (app, config): metrics normalized to the same-seed
+    // *faulted* Baseline, fault tallies merged, panics recorded as failed
+    // cells instead of aborting the sweep.
+    let base_col = configs
+        .iter()
+        .position(|&c| c == SystemConfig::Baseline)
+        .expect("fault sweep normalizes to Baseline");
+    let thr_col = configs
+        .iter()
+        .position(|&c| c == SystemConfig::Thrifty)
+        .expect("fault sweep quotes the Thrifty columns");
+    let mut aggs: Vec<AggregateReport> = Vec::with_capacity(apps.len() * configs.len());
+    for (a, app) in apps.iter().enumerate() {
+        for (c, &config) in configs.iter().enumerate() {
+            let mut agg = AggregateReport::new(&app.name, config.name(), opts.nodes as usize);
+            for s in 0..seeds.len() {
+                let outcome = &outcomes[idx(a, c, s)];
+                agg.merge_faults(&outcome.faults);
+                match (&outcome.report, &outcomes[idx(a, base_col, s)].report) {
+                    (Ok(report), Ok(baseline)) => agg.push(report, baseline),
+                    (Err(msg), _) => agg.record_failure(msg.clone()),
+                    (Ok(_), Err(_)) => agg.record_failure("baseline cell failed"),
+                }
+            }
+            aggs.push(agg);
+        }
+    }
+    if opts.json {
+        println!("{}", serde::json::to_string(&aggs));
+        return;
+    }
+
+    println!(
+        "fault sweep: scenario {scenario:?}, {} nodes, {} seed(s)",
+        opts.nodes,
+        seeds.len()
+    );
+    println!(
+        "{:<11} {:>7} {:>7} {:>6} | {:>8} {:>8} | {:>6}",
+        "app", "inject", "recov", "quar", "E:Thr", "slowdn", "failed"
+    );
+    let mut totals = (0u64, 0u64, 0u64, 0u64);
+    for (a, app) in apps.iter().enumerate() {
+        let rows = &aggs[a * configs.len()..(a + 1) * configs.len()];
+        let injected: u64 = rows.iter().map(|r| r.faults.injected()).sum();
+        let recovered: u64 = rows.iter().map(|r| r.faults.guard_recoveries).sum();
+        let quarantined: u64 = rows.iter().map(|r| r.faults.quarantine_entries).sum();
+        let failed: u64 = rows.iter().map(|r| r.failed_cells).sum();
+        let thrifty = &rows[thr_col];
+        println!(
+            "{:<11} {:>7} {:>7} {:>6} | {:>7.1}% {:>+7.2}% | {:>6}",
+            app.name,
+            injected,
+            recovered,
+            quarantined,
+            thrifty.energy_vs_baseline.mean() * 100.0,
+            thrifty.slowdown_vs_baseline.mean() * 100.0,
+            failed
+        );
+        totals.0 += injected;
+        totals.1 += recovered;
+        totals.2 += quarantined;
+        totals.3 += failed;
+    }
+    println!(
+        "{scenario}: {} faults injected, {} guard recoveries, {} quarantine entries, \
+         {} failed cells",
+        totals.0, totals.1, totals.2, totals.3
+    );
+}
+
+fn cmd_cutoff(opts: &Options) -> Result<(), String> {
     use thrifty_barrier::core::AlgorithmConfig;
-    let app = AppSpec::by_name("Ocean").expect("Ocean exists");
+    let app = app_by_name("Ocean")?;
     let harness = Harness::new(opts.jobs);
     // The cached Baseline bundle: one trace generation, one Baseline
     // simulation, shared with any other command using this harness.
@@ -251,6 +379,7 @@ fn cmd_cutoff(opts: &Options) {
             r.counts.cutoff_disables
         );
     }
+    Ok(())
 }
 
 fn cmd_trace(app_name: &str, opts: &Options) -> Result<(), String> {
@@ -260,9 +389,7 @@ fn cmd_trace(app_name: &str, opts: &Options) -> Result<(), String> {
         .as_deref()
         .ok_or("trace needs --out FILE (the export destination)")?;
     let sys = match &opts.config {
-        Some(name) => config_by_name(name).ok_or_else(|| {
-            format!("unknown config {name:?} (Baseline/Thrifty-Halt/Oracle-Halt/Thrifty/Ideal)")
-        })?,
+        Some(name) => config_by_name(name)?,
         None => SystemConfig::Thrifty,
     };
     let app_trace = app.generate(opts.nodes as usize, opts.seed);
@@ -296,7 +423,8 @@ fn usage() -> ! {
          commands:\n  \
          list                      the ten Table 2 applications\n  \
          run <app> [--config C]    run one app (all five configs by default)\n  \
-         sweep                     all apps x all configs (Figures 5/6 data)\n  \
+         sweep [--faults SC]       all apps x all configs (Figures 5/6 data);\n  \
+         \x20                          --faults runs the fault-matrix sweep\n  \
          cutoff                    the Ocean overprediction cut-off story\n  \
          trace <app> --out FILE    record per-episode events to a trace file\n\
          options: --nodes N (power of two <= 64), --seed S, --seeds K, --jobs J,\n\
@@ -321,7 +449,7 @@ fn main() {
             }
         }
         "sweep" => parse_options(&args[1..]).map(|o| cmd_sweep(&o)),
-        "cutoff" => parse_options(&args[1..]).map(|o| cmd_cutoff(&o)),
+        "cutoff" => parse_options(&args[1..]).and_then(|o| cmd_cutoff(&o)),
         "trace" => {
             let Some(app) = args.get(1) else { usage() };
             match parse_options(&args[2..]) {

@@ -70,6 +70,57 @@ fn sweep_n8_json_digest_matches_fixture() {
     );
 }
 
+/// Fault plumbing must be provably zero-cost when disabled: `sweep
+/// --faults none` routes every cell through the fault-aware, panic-isolated
+/// path with a disabled plan, and its bytes must equal the plain sweep
+/// fixture at every worker-pool size — table and JSON alike.
+#[test]
+fn sweep_faults_none_is_byte_identical_to_clean_sweep() {
+    let want = fixture("sweep_n8.txt");
+    for jobs in ["1", "2", "4"] {
+        let got = bin(&["sweep", "--nodes", "8", "--jobs", jobs, "--faults", "none"]);
+        assert_eq!(
+            got, want,
+            "sweep --faults none --jobs {jobs} drifted from the clean sweep fixture"
+        );
+    }
+    let json = bin(&["sweep", "--nodes", "8", "--json", "--faults", "none"]);
+    let trimmed = json.strip_suffix(b"\n").unwrap_or(&json);
+    let want = fixture("sweep_n8_json.digest");
+    let want = String::from_utf8(want).expect("digest fixture is ASCII hex");
+    assert_eq!(
+        fnv1a64_hex(trimmed),
+        want.trim(),
+        "sweep --faults none --json digest drifted from the clean JSON fixture"
+    );
+}
+
+/// The fault-matrix sweep under the storm scenario: deterministic fault
+/// schedules pin the whole table — injected/recovery/quarantine tallies and
+/// the failed-cell column — at every worker-pool size. The trailing
+/// "0 failed cells" summary doubles as the CI fault-smoke assertion that
+/// every faulted episode terminated.
+#[test]
+fn fault_sweep_n8_matches_fixture_at_every_jobs_level() {
+    let want = fixture("fault_sweep_n8.txt");
+    for jobs in ["1", "2", "4"] {
+        let got = bin(&["sweep", "--nodes", "8", "--jobs", jobs, "--faults", "storm"]);
+        assert_eq!(
+            got, want,
+            "sweep --faults storm --jobs {jobs} drifted from tests/golden/fault_sweep_n8.txt"
+        );
+    }
+    let text = String::from_utf8(want).expect("fixture is UTF-8");
+    assert!(
+        text.trim_end().ends_with("0 failed cells"),
+        "the pinned fault sweep must report zero failed cells"
+    );
+    assert!(
+        text.contains("faults injected"),
+        "the summary line reports injected-fault totals"
+    );
+}
+
 /// The paper-scale (64-node) sweep table, serial vs. parallel, against its
 /// fixture. Slower than the 8-node tests but still the tier-1 gate for the
 /// exact workload the performance numbers are quoted on.
