@@ -79,6 +79,7 @@ fn run_sweep(nodes: u16, seed: u64, jobs: usize) -> (Vec<RunReport>, f64) {
     let t0 = Instant::now();
     let reports: Vec<RunReport> = harness
         .run_matrix(&AppSpec::splash2(), &SystemConfig::ALL, nodes, &[seed])
+        .expect("benchmark cells are fault-free")
         .into_iter()
         .flat_map(|m| m.into_flat_reports())
         .collect();

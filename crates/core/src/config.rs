@@ -97,6 +97,11 @@ pub struct FaultPlan {
     pub delay_unpark: f64,
     /// Mean of the exponential unpark delay, in nanoseconds.
     pub delay_unpark_mean_ns: f64,
+    /// P(a firing guard timer wedges permanently instead of rescuing its
+    /// thread). A wedged guard removes the last recovery path for a lost
+    /// wake-up, so the episode can never complete — this is the class the
+    /// harness-level livelock watchdog exists to catch.
+    pub wedge_guard: f64,
 }
 
 impl FaultPlan {
@@ -114,6 +119,7 @@ impl FaultPlan {
             oversleep_mean_ns: 0.0,
             delay_unpark: 0.0,
             delay_unpark_mean_ns: 0.0,
+            wedge_guard: 0.0,
         }
     }
 
@@ -126,6 +132,7 @@ impl FaultPlan {
             self.spurious_fire,
             self.oversleep,
             self.delay_unpark,
+            self.wedge_guard,
         ]
         .iter()
         .any(|&p| p > 0.0)
@@ -141,6 +148,7 @@ impl FaultPlan {
             "spurious-timer",
             "oversleep",
             "storm",
+            "hang",
         ]
     }
 
@@ -187,6 +195,15 @@ impl FaultPlan {
                 oversleep_mean_ns: 50_000.0,
                 delay_unpark: 0.25,
                 delay_unpark_mean_ns: 50_000.0,
+                ..base
+            },
+            // Adversarial liveness scenario: lost wake-ups force threads
+            // onto the guard-timer path, and every firing guard wedges, so
+            // the first lost wake-up livelocks the cell. Exists to exercise
+            // the harness watchdog, not the barrier's own hardening.
+            "hang" => FaultPlan {
+                lose_wakeup: 0.35,
+                wedge_guard: 1.0,
                 ..base
             },
             _ => return None,

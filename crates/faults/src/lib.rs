@@ -66,6 +66,7 @@ pub struct FaultInjector {
     timer_rng: SimRng,
     oversleep_rng: SimRng,
     unpark_rng: SimRng,
+    wedge_rng: SimRng,
 }
 
 impl FaultInjector {
@@ -81,6 +82,7 @@ impl FaultInjector {
             timer_rng: root.derive("fault-timer", 0),
             oversleep_rng: root.derive("fault-oversleep", 0),
             unpark_rng: root.derive("fault-unpark", 0),
+            wedge_rng: root.derive("fault-wedge", 0),
         })
     }
 
@@ -129,6 +131,16 @@ impl FaultInjector {
         self.plan.spurious_fire > 0.0 && self.timer_rng.chance(self.plan.spurious_fire)
     }
 
+    /// Fault (e): whether a firing guard timer wedges permanently instead
+    /// of rescuing its thread. A wedged guard never re-arms, so a thread
+    /// that also lost its wake-up is stuck for good — the livelock class
+    /// the harness watchdog (not the barrier) must catch. The probability
+    /// short-circuits before drawing so plans without this class keep
+    /// their schedules unchanged.
+    pub fn wedge_guard(&mut self) -> bool {
+        self.plan.wedge_guard > 0.0 && self.wedge_rng.chance(self.plan.wedge_guard)
+    }
+
     /// Fault (d): delay added to an unpark analog (real-threads runtime),
     /// if this unpark is delayed.
     pub fn unpark_delay(&mut self) -> Option<Cycles> {
@@ -158,6 +170,8 @@ pub struct FaultSummary {
     pub oversleeps: u64,
     /// Delayed unpark analogs.
     pub delayed_unparks: u64,
+    /// Guard timers that wedged permanently instead of rescuing.
+    pub wedged_guards: u64,
     /// Guard-timer rescues (threads whose primary wake-up path failed).
     pub guard_recoveries: u64,
     /// Barrier sites that entered predictor quarantine.
@@ -176,6 +190,7 @@ impl FaultSummary {
             FaultKind::SpuriousTimer => self.spurious_timers += 1,
             FaultKind::Oversleep => self.oversleeps += 1,
             FaultKind::DelayedUnpark => self.delayed_unparks += 1,
+            FaultKind::WedgedGuard => self.wedged_guards += 1,
         }
     }
 
@@ -188,6 +203,7 @@ impl FaultSummary {
             + self.spurious_timers
             + self.oversleeps
             + self.delayed_unparks
+            + self.wedged_guards
     }
 
     /// Accumulates another run's tallies into this one.
@@ -198,6 +214,7 @@ impl FaultSummary {
         self.spurious_timers += other.spurious_timers;
         self.oversleeps += other.oversleeps;
         self.delayed_unparks += other.delayed_unparks;
+        self.wedged_guards += other.wedged_guards;
         self.guard_recoveries += other.guard_recoveries;
         self.quarantine_entries += other.quarantine_entries;
         self.quarantine_exits += other.quarantine_exits;
@@ -298,6 +315,19 @@ mod tests {
             guard_deadline(now, Some(stall)),
             now + stall * GUARD_MULTIPLE
         );
+    }
+
+    #[test]
+    fn wedge_guard_short_circuits_when_disabled() {
+        // Storm has wedge_guard = 0.0: the method must return false without
+        // drawing, so adding the wedge stream never perturbs existing
+        // scenarios' schedules.
+        let mut storm = FaultInjector::from_plan(&plan(3)).unwrap();
+        for _ in 0..100 {
+            assert!(!storm.wedge_guard());
+        }
+        let mut hang = FaultInjector::from_plan(&FaultPlan::by_name("hang", 3).unwrap()).unwrap();
+        assert!(hang.wedge_guard(), "hang wedges every firing guard");
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Parallel experiment harness with shared trace/oracle caching.
+//! Parallel experiment harness with shared trace/oracle caching and
+//! supervised execution.
 //!
 //! The paper's evaluation is a matrix: applications × configurations
 //! (× seeds, once replication enters the picture). Every cell is an
@@ -18,16 +19,42 @@
 //! back in the caller's cell order (workers fill indexed slots, so
 //! completion order never shows), which keeps parallel output byte-for-byte
 //! identical to a serial run.
+//!
+//! # Supervision
+//!
+//! Long fault sweeps must survive individual cells misbehaving, so cells
+//! run under a [`SupervisionPolicy`] (see DESIGN.md §11):
+//!
+//! * a **panicking** cell is caught (`catch_unwind`) and reported as
+//!   [`CellError::Panic`] with its message preserved;
+//! * a **livelocked** simulation is stopped by the simulator's own
+//!   progress watchdog and reported as [`CellError::Livelock`] with
+//!   queue/episode diagnostics;
+//! * a cell that exceeds the policy's **wall-clock deadline** has its
+//!   worker slot abandoned (the thread is left to finish harmlessly — all
+//!   shared state is content-keyed and exactly-once) and is reported as
+//!   [`CellError::Timeout`];
+//! * **transient** failures (panic, timeout) are re-run up to
+//!   `policy.retries` times with deterministic, seed-derived exponential
+//!   backoff ([`retry_backoff`]); the full failure history lands in
+//!   [`CellOutcome::retries`] and each re-run emits a
+//!   [`TraceEventKind::CellRetry`] event through the policy's trace sink.
+//!   Livelocks are deterministic (same seed → same wedge schedule), so
+//!   they are never retried.
 
 use crate::report::{AggregateReport, RunReport};
 use crate::run::oracle_from_baseline;
-use crate::sim::{simulate, simulate_faulted, SimulatorConfig};
+use crate::sim::{simulate, try_simulate_faulted, LivelockDiagnostics, SimulatorConfig};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::time::{Duration, Instant};
 use tb_core::{FaultPlan, QuarantineConfig, RecordedBitOracle, SystemConfig};
 use tb_faults::FaultSummary;
+use tb_sim::{Cycles, SimRng};
+use tb_trace::{SinkHandle, TraceEvent, TraceEventKind};
 use tb_workloads::{AppSpec, AppTrace};
 
 /// One cell of the experiment matrix.
@@ -65,22 +92,128 @@ impl Cell {
     }
 }
 
-/// The result of one panic-isolated cell: the report (or the panic message
-/// if the cell died) together with its injected-fault/recovery tallies.
+/// Why a supervised cell failed to produce a report.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum CellError {
+    /// The simulation panicked; the payload is the panic message.
+    Panic(String),
+    /// The simulator's progress watchdog declared the run livelocked.
+    Livelock(LivelockDiagnostics),
+    /// The cell exceeded the supervisor's wall-clock deadline and its
+    /// worker slot was abandoned.
+    Timeout {
+        /// The deadline that was exceeded, in milliseconds.
+        limit_ms: u64,
+    },
+}
+
+impl CellError {
+    /// Whether a retry could plausibly succeed. Panics and timeouts are
+    /// treated as transient (OOM, scheduling jitter, host interference);
+    /// livelocks are deterministic — the same seed wedges the same guard
+    /// timers — so retrying one only wastes the budget.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, CellError::Panic(_) | CellError::Timeout { .. })
+    }
+
+    /// Short machine-readable class name ("panic" / "livelock" /
+    /// "timeout").
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CellError::Panic(_) => "panic",
+            CellError::Livelock(_) => "livelock",
+            CellError::Timeout { .. } => "timeout",
+        }
+    }
+}
+
+impl std::fmt::Display for CellError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CellError::Panic(msg) => write!(f, "panic: {msg}"),
+            CellError::Livelock(d) => write!(f, "livelock: {d}"),
+            CellError::Timeout { limit_ms } => write!(f, "timeout after {limit_ms} ms"),
+        }
+    }
+}
+
+/// The result of one supervised cell: the report (or the typed error that
+/// ended the final attempt) together with its injected-fault/recovery
+/// tallies and the errors of every abandoned earlier attempt.
 #[derive(Debug, Clone)]
 pub struct CellOutcome {
-    /// The run report, or the panic message of a cell that panicked.
-    pub report: Result<RunReport, String>,
+    /// The run report, or the error of the last attempt.
+    pub report: Result<RunReport, CellError>,
     /// Fault-injection and recovery tallies for the cell (all zero for
     /// fault-free or failed cells).
     pub faults: FaultSummary,
+    /// The error of each failed attempt that was retried, oldest first.
+    /// Empty when the first attempt succeeded or the policy allowed no
+    /// retries.
+    pub retries: Vec<CellError>,
 }
 
 impl CellOutcome {
-    /// Whether the cell panicked instead of producing a report.
+    /// Whether the cell failed to produce a report after all attempts.
     pub fn is_failed(&self) -> bool {
         self.report.is_err()
     }
+
+    /// How many times the cell was attempted (1 = no retries).
+    pub fn attempts(&self) -> u32 {
+        self.retries.len() as u32 + 1
+    }
+}
+
+/// How [`Harness::run_cells_supervised`] handles misbehaving cells.
+#[derive(Debug, Clone, Default)]
+pub struct SupervisionPolicy {
+    /// How many times a transiently failed cell (panic, timeout) is re-run
+    /// before its error becomes final. `0` (the default) fails fast.
+    pub retries: u32,
+    /// Per-attempt wall-clock deadline. `None` (the default) waits
+    /// indefinitely; `Some` routes execution through the deadline
+    /// supervisor, which abandons the worker slot of an attempt that
+    /// overruns and records [`CellError::Timeout`].
+    pub timeout: Option<Duration>,
+    /// Where [`TraceEventKind::CellRetry`] events are emitted. Disabled by
+    /// default.
+    pub trace: SinkHandle,
+}
+
+impl SupervisionPolicy {
+    /// Sets the transient-failure retry budget.
+    pub fn with_retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Sets the per-attempt wall-clock deadline.
+    pub fn with_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Attaches a trace sink for retry events.
+    pub fn with_trace(mut self, trace: SinkHandle) -> Self {
+        self.trace = trace;
+        self
+    }
+}
+
+/// The deterministic backoff slept before retry number `attempt`
+/// (1-based): 50 ms doubling per attempt, capped at 2 s, scaled by a
+/// jitter factor in `[0.5, 1.0)` drawn from the cell seed's dedicated
+/// `"retry-backoff"` RNG stream — reproducible across runs, decorrelated
+/// across cells.
+pub fn retry_backoff(seed: u64, attempt: u32) -> Duration {
+    const BASE_MS: u64 = 50;
+    const CAP_MS: u64 = 2_000;
+    let shift = attempt.saturating_sub(1).min(6);
+    let nominal = (BASE_MS << shift).min(CAP_MS);
+    let mut rng = SimRng::new(seed).derive("retry-backoff", attempt as u64);
+    let jitter = 0.5 + 0.5 * rng.uniform();
+    Duration::from_millis((nominal as f64 * jitter).round() as u64)
 }
 
 /// Renders a `catch_unwind` payload as the human-readable panic message.
@@ -158,6 +291,93 @@ impl<T> Cache<T> {
     }
 }
 
+/// The cache-backed cell runner shared by every worker. Lives behind an
+/// `Arc` so the deadline supervisor can hand it to detached (`'static`)
+/// attempt threads whose slots may be abandoned.
+struct HarnessShared {
+    traces: Cache<AppTrace>,
+    baselines: Cache<BaselineBundle>,
+}
+
+impl HarnessShared {
+    fn trace(&self, app: &AppSpec, nodes: u16, seed: u64) -> Arc<AppTrace> {
+        self.traces
+            .get_or_compute((app.name.clone(), nodes, seed), || {
+                app.generate(nodes as usize, seed)
+            })
+    }
+
+    fn baseline(&self, app: &AppSpec, nodes: u16, seed: u64) -> Arc<BaselineBundle> {
+        let trace = self.trace(app, nodes, seed);
+        self.baselines
+            .get_or_compute((app.name.clone(), nodes, seed), || {
+                let cfg = SimulatorConfig::paper_with_nodes(SystemConfig::Baseline.name(), nodes);
+                let report = simulate(cfg, &trace, SystemConfig::Baseline.algorithm_config(), None);
+                let oracle = oracle_from_baseline(&report);
+                BaselineBundle { report, oracle }
+            })
+    }
+
+    fn try_run_cell_faulted(
+        &self,
+        cell: &Cell,
+    ) -> Result<(RunReport, FaultSummary), LivelockDiagnostics> {
+        let plan = cell.faults.clone().filter(FaultPlan::enabled);
+        if plan.is_none() && cell.config == SystemConfig::Baseline {
+            let report = self
+                .baseline(&cell.app, cell.nodes, cell.seed)
+                .report
+                .clone();
+            return Ok((report, FaultSummary::default()));
+        }
+        let trace = self.trace(&cell.app, cell.nodes, cell.seed);
+        let oracle = cell.config.needs_oracle().then(|| {
+            self.baseline(&cell.app, cell.nodes, cell.seed)
+                .oracle
+                .clone()
+        });
+        let mut cfg = SimulatorConfig::paper_with_nodes(cell.config.name(), cell.nodes);
+        let mut algo = cell.config.algorithm_config();
+        if plan.is_some() {
+            // Under injected faults the predictor needs its misprediction
+            // backstop; quarantine is part of the hardened configuration.
+            algo = algo.with_quarantine(Some(QuarantineConfig::default()));
+        }
+        cfg.faults = plan;
+        try_simulate_faulted(cfg, &trace, algo, oracle)
+    }
+
+    fn run_cell_faulted(&self, cell: &Cell) -> (RunReport, FaultSummary) {
+        match self.try_run_cell_faulted(cell) {
+            Ok(pair) => pair,
+            Err(diag) => panic!("simulation livelocked: {diag}"),
+        }
+    }
+
+    /// Runs one attempt of a cell with panic isolation, classifying every
+    /// failure mode into a [`CellError`].
+    fn run_cell_attempt(&self, cell: &Cell) -> Result<(RunReport, FaultSummary), CellError> {
+        match catch_unwind(AssertUnwindSafe(|| self.try_run_cell_faulted(cell))) {
+            Ok(Ok(pair)) => Ok(pair),
+            Ok(Err(diag)) => Err(CellError::Livelock(diag)),
+            Err(payload) => Err(CellError::Panic(panic_message(payload))),
+        }
+    }
+}
+
+fn emit_retry(policy: &SupervisionPolicy, index: usize, attempt: u32, timed_out: bool) {
+    policy.trace.emit(TraceEvent::new(
+        Cycles::ZERO,
+        index,
+        TraceEventKind::CellRetry {
+            episode: index as u64,
+            pc: 0,
+            attempt,
+            timed_out,
+        },
+    ));
+}
+
 /// Parallel experiment runner with shared trace and Baseline/oracle caches.
 ///
 /// The caches live for the lifetime of the harness, so sequential calls
@@ -177,7 +397,7 @@ impl<T> Cache<T> {
 ///     .into_iter()
 ///     .map(|c| Cell::new(app.clone(), 16, 1, c))
 ///     .collect();
-/// let reports = harness.run_cells(&cells);
+/// let reports = harness.run_cells(&cells).unwrap();
 /// assert_eq!(reports.len(), 5);
 /// // All five configurations shared one trace and one Baseline run.
 /// assert_eq!(harness.trace_generations(), 1);
@@ -186,8 +406,7 @@ impl<T> Cache<T> {
 /// ```
 pub struct Harness {
     jobs: usize,
-    traces: Cache<AppTrace>,
-    baselines: Cache<BaselineBundle>,
+    shared: Arc<HarnessShared>,
 }
 
 impl std::fmt::Debug for Harness {
@@ -214,8 +433,10 @@ impl Harness {
         };
         Harness {
             jobs,
-            traces: Cache::default(),
-            baselines: Cache::default(),
+            shared: Arc::new(HarnessShared {
+                traces: Cache::default(),
+                baselines: Cache::default(),
+            }),
         }
     }
 
@@ -233,30 +454,25 @@ impl Harness {
     /// The interned trace of (app, nodes, seed), generating it on first
     /// use.
     pub fn trace(&self, app: &AppSpec, nodes: u16, seed: u64) -> Arc<AppTrace> {
-        self.traces
-            .get_or_compute((app.name.clone(), nodes, seed), || {
-                app.generate(nodes as usize, seed)
-            })
+        self.shared.trace(app, nodes, seed)
     }
 
     /// The interned Baseline run (and derived oracle) of (app, nodes,
     /// seed), simulating it on first use. This is the *only* place the
     /// harness runs Baseline, so each triple runs it exactly once.
     pub fn baseline(&self, app: &AppSpec, nodes: u16, seed: u64) -> Arc<BaselineBundle> {
-        let trace = self.trace(app, nodes, seed);
-        self.baselines
-            .get_or_compute((app.name.clone(), nodes, seed), || {
-                let cfg = SimulatorConfig::paper_with_nodes(SystemConfig::Baseline.name(), nodes);
-                let report = simulate(cfg, &trace, SystemConfig::Baseline.algorithm_config(), None);
-                let oracle = oracle_from_baseline(&report);
-                BaselineBundle { report, oracle }
-            })
+        self.shared.baseline(app, nodes, seed)
     }
 
     /// Runs one cell, reusing the cached trace and (for Baseline and the
     /// oracle configurations) the cached Baseline run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation livelocks; use
+    /// [`Harness::try_run_cell_faulted`] for the typed error.
     pub fn run_cell(&self, cell: &Cell) -> RunReport {
-        self.run_cell_faulted(cell).0
+        self.shared.run_cell_faulted(cell).0
     }
 
     /// Runs one cell and also returns its fault tallies.
@@ -268,95 +484,282 @@ impl Harness {
     /// definition — though it still shares the trace cache and, for oracle
     /// configurations, consumes the clean Baseline's oracle (the oracle
     /// models *prediction* knowledge, not fault knowledge).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation livelocks; use
+    /// [`Harness::try_run_cell_faulted`] for the typed error.
     pub fn run_cell_faulted(&self, cell: &Cell) -> (RunReport, FaultSummary) {
-        let plan = cell.faults.clone().filter(FaultPlan::enabled);
-        if plan.is_none() && cell.config == SystemConfig::Baseline {
-            let report = self
-                .baseline(&cell.app, cell.nodes, cell.seed)
-                .report
-                .clone();
-            return (report, FaultSummary::default());
-        }
-        let trace = self.trace(&cell.app, cell.nodes, cell.seed);
-        let oracle = cell.config.needs_oracle().then(|| {
-            self.baseline(&cell.app, cell.nodes, cell.seed)
-                .oracle
-                .clone()
-        });
-        let mut cfg = SimulatorConfig::paper_with_nodes(cell.config.name(), cell.nodes);
-        let mut algo = cell.config.algorithm_config();
-        if plan.is_some() {
-            // Under injected faults the predictor needs its misprediction
-            // backstop; quarantine is part of the hardened configuration.
-            algo = algo.with_quarantine(Some(QuarantineConfig::default()));
-        }
-        cfg.faults = plan;
-        simulate_faulted(cfg, &trace, algo, oracle)
+        self.shared.run_cell_faulted(cell)
     }
 
-    /// Runs one cell inside `catch_unwind`, converting a panic into a
-    /// failed [`CellOutcome`] instead of unwinding into the pool.
-    fn run_cell_isolated(&self, cell: &Cell) -> CellOutcome {
-        match catch_unwind(AssertUnwindSafe(|| self.run_cell_faulted(cell))) {
-            Ok((report, faults)) => CellOutcome {
-                report: Ok(report),
-                faults,
-            },
-            Err(payload) => CellOutcome {
-                report: Err(panic_message(payload)),
-                faults: FaultSummary::default(),
-            },
-        }
+    /// Like [`Harness::run_cell_faulted`], but a livelocked simulation
+    /// returns its [`LivelockDiagnostics`] instead of panicking.
+    pub fn try_run_cell_faulted(
+        &self,
+        cell: &Cell,
+    ) -> Result<(RunReport, FaultSummary), LivelockDiagnostics> {
+        self.shared.try_run_cell_faulted(cell)
     }
 
-    /// Runs every cell and returns the reports **in `cells` order**,
-    /// regardless of completion order.
+    /// Runs every cell and returns the reports **in `cells` order**, or
+    /// the error of the first (in cell order) cell that failed.
     ///
     /// Workers pull the next unclaimed index from a shared counter (cheap
     /// work stealing: a long cell never blocks the queue behind it) and
     /// write into that index's slot, so the result layout — and therefore
     /// any output rendered from it — is identical at every `jobs` level.
-    pub fn run_cells(&self, cells: &[Cell]) -> Vec<RunReport> {
+    pub fn run_cells(&self, cells: &[Cell]) -> Result<Vec<RunReport>, CellError> {
         self.run_cells_isolated(cells)
             .into_iter()
-            .map(|outcome| match outcome.report {
-                Ok(report) => report,
-                Err(msg) => panic!("{msg}"),
-            })
+            .map(|outcome| outcome.report)
             .collect()
     }
 
     /// Runs every cell with per-cell panic isolation and returns the
     /// outcomes **in `cells` order**, regardless of completion order.
     ///
-    /// Workers pull the next unclaimed index from a shared counter (cheap
-    /// work stealing: a long cell never blocks the queue behind it) and
-    /// write into that index's slot, so the result layout — and therefore
-    /// any output rendered from it — is identical at every `jobs` level.
-    /// Each cell runs inside `catch_unwind`: a panicking cell becomes a
-    /// failed [`CellOutcome`] carrying the panic message while every other
-    /// cell — and the shared caches — keeps working.
+    /// Equivalent to [`Harness::run_cells_supervised`] with the default
+    /// policy: no retries, no deadline.
     pub fn run_cells_isolated(&self, cells: &[Cell]) -> Vec<CellOutcome> {
+        self.run_cells_supervised(cells, &SupervisionPolicy::default())
+    }
+
+    /// Runs every cell under `policy` and returns the outcomes **in
+    /// `cells` order**, regardless of completion order.
+    pub fn run_cells_supervised(
+        &self,
+        cells: &[Cell],
+        policy: &SupervisionPolicy,
+    ) -> Vec<CellOutcome> {
+        self.run_cells_supervised_with(cells, policy, |_, _| {})
+    }
+
+    /// Like [`Harness::run_cells_supervised`], but invokes `on_complete`
+    /// with each cell's index and final outcome *as soon as that cell
+    /// finishes* (from whichever worker finished it — the callback must be
+    /// `Sync`). This is the checkpointing hook: a sweep journal can
+    /// persist every completed cell without waiting for the whole batch.
+    /// Completion order is nondeterministic; the returned vector is always
+    /// in `cells` order.
+    pub fn run_cells_supervised_with<F>(
+        &self,
+        cells: &[Cell],
+        policy: &SupervisionPolicy,
+        on_complete: F,
+    ) -> Vec<CellOutcome>
+    where
+        F: Fn(usize, &CellOutcome) + Sync,
+    {
+        if policy.timeout.is_some() {
+            return self.run_cells_deadline(cells, policy, &on_complete);
+        }
         let workers = self.jobs.min(cells.len());
         if workers <= 1 {
-            return cells.iter().map(|c| self.run_cell_isolated(c)).collect();
+            return cells
+                .iter()
+                .enumerate()
+                .map(|(i, cell)| {
+                    let outcome = self.run_cell_supervised(i, cell, policy);
+                    on_complete(i, &outcome);
+                    outcome
+                })
+                .collect();
         }
         let next = AtomicUsize::new(0);
         let slots: Vec<OnceLock<CellOutcome>> = cells.iter().map(|_| OnceLock::new()).collect();
+        let on_complete = &on_complete;
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(cell) = cells.get(i) else { break };
-                    slots[i]
-                        .set(self.run_cell_isolated(cell))
-                        .expect("each index is claimed once");
+                    let outcome = self.run_cell_supervised(i, cell, policy);
+                    on_complete(i, &outcome);
+                    slots[i].set(outcome).expect("each index is claimed once");
                 });
             }
         });
         slots
             .into_iter()
             .map(|slot| slot.into_inner().expect("worker filled every slot"))
+            .collect()
+    }
+
+    /// One cell's retry loop for the deadline-free paths: attempts run
+    /// inline on the calling worker, sleeping the backoff between retries.
+    fn run_cell_supervised(
+        &self,
+        index: usize,
+        cell: &Cell,
+        policy: &SupervisionPolicy,
+    ) -> CellOutcome {
+        let mut retries = Vec::new();
+        loop {
+            match self.shared.run_cell_attempt(cell) {
+                Ok((report, faults)) => {
+                    return CellOutcome {
+                        report: Ok(report),
+                        faults,
+                        retries,
+                    }
+                }
+                Err(err) => {
+                    if err.is_transient() && (retries.len() as u32) < policy.retries {
+                        let timed_out = matches!(err, CellError::Timeout { .. });
+                        retries.push(err);
+                        let attempt = retries.len() as u32;
+                        emit_retry(policy, index, attempt, timed_out);
+                        std::thread::sleep(retry_backoff(cell.seed, attempt));
+                    } else {
+                        return CellOutcome {
+                            report: Err(err),
+                            faults: FaultSummary::default(),
+                            retries,
+                        };
+                    }
+                }
+            }
+        }
+    }
+
+    /// The deadline supervisor: attempts run on detached threads that
+    /// report back over a channel, so an attempt that overruns its
+    /// deadline can have its worker *slot* reclaimed immediately — the
+    /// thread itself is left to finish naturally (every shared structure
+    /// is content-keyed and exactly-once, so a late writer is harmless)
+    /// and its eventual result is discarded by the attempt-number filter.
+    fn run_cells_deadline<F>(
+        &self,
+        cells: &[Cell],
+        policy: &SupervisionPolicy,
+        on_complete: &F,
+    ) -> Vec<CellOutcome>
+    where
+        F: Fn(usize, &CellOutcome) + Sync,
+    {
+        let limit = policy.timeout.expect("deadline path requires a timeout");
+        let limit_ms = limit.as_millis() as u64;
+        let n = cells.len();
+        let workers = self.jobs.min(n).max(1);
+        type AttemptResult = Result<(RunReport, FaultSummary), CellError>;
+        // `tx` stays alive in this frame, so Disconnected can never fire.
+        let (tx, rx) = mpsc::channel::<(usize, u32, AttemptResult)>();
+
+        // Every incomplete cell is in exactly one of `pending` (waiting
+        // for a slot, possibly serving a backoff) or `inflight` (running,
+        // with a deadline). Entries are (index, attempt, instant).
+        let start = Instant::now();
+        let mut pending: Vec<(usize, u32, Instant)> = (0..n).map(|i| (i, 0, start)).collect();
+        let mut inflight: Vec<(usize, u32, Instant)> = Vec::new();
+        let mut attempt_of = vec![0u32; n];
+        let mut retries: Vec<Vec<CellError>> = vec![Vec::new(); n];
+        let mut results: Vec<Option<CellOutcome>> = (0..n).map(|_| None).collect();
+        let mut completed = 0usize;
+
+        while completed < n {
+            // Fill free worker slots with the lowest-indexed ready cells.
+            let now = Instant::now();
+            while inflight.len() < workers {
+                let mut best: Option<usize> = None;
+                for (p, &(i, _, ready)) in pending.iter().enumerate() {
+                    if ready <= now && best.is_none_or(|b| pending[b].0 > i) {
+                        best = Some(p);
+                    }
+                }
+                let Some(p) = best else { break };
+                let (index, attempt, _) = pending.remove(p);
+                attempt_of[index] = attempt;
+                inflight.push((index, attempt, now + limit));
+                let shared = Arc::clone(&self.shared);
+                let cell = cells[index].clone();
+                let tx = tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("tb-cell-{index}"))
+                    .spawn(move || {
+                        let result = shared.run_cell_attempt(&cell);
+                        let _ = tx.send((index, attempt, result));
+                    })
+                    .expect("spawn supervised cell worker");
+            }
+
+            // Sleep until the next thing that can happen: an inflight
+            // deadline, or (if a slot is free) a backoff expiring.
+            let mut wake = inflight.iter().map(|&(_, _, deadline)| deadline).min();
+            if inflight.len() < workers {
+                if let Some(ready) = pending.iter().map(|&(_, _, r)| r).min() {
+                    wake = Some(wake.map_or(ready, |w| w.min(ready)));
+                }
+            }
+            let wake = wake.expect("supervisor has work while cells are incomplete");
+
+            match rx.recv_timeout(wake.saturating_duration_since(Instant::now())) {
+                Ok((index, attempt, result)) => {
+                    // An abandoned attempt finishing after its deadline is
+                    // no longer inflight — drop its result.
+                    let Some(pos) = inflight
+                        .iter()
+                        .position(|&(i, a, _)| i == index && a == attempt)
+                    else {
+                        continue;
+                    };
+                    inflight.remove(pos);
+                    match result {
+                        Ok((report, faults)) => {
+                            let outcome = CellOutcome {
+                                report: Ok(report),
+                                faults,
+                                retries: std::mem::take(&mut retries[index]),
+                            };
+                            on_complete(index, &outcome);
+                            results[index] = Some(outcome);
+                            completed += 1;
+                        }
+                        Err(err) => supervise_failure(
+                            index,
+                            err,
+                            policy,
+                            cells,
+                            &mut attempt_of,
+                            &mut retries,
+                            &mut pending,
+                            &mut results,
+                            &mut completed,
+                            on_complete,
+                        ),
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    let now = Instant::now();
+                    let mut k = 0;
+                    while k < inflight.len() {
+                        if inflight[k].2 <= now {
+                            let (index, _, _) = inflight.remove(k);
+                            supervise_failure(
+                                index,
+                                CellError::Timeout { limit_ms },
+                                policy,
+                                cells,
+                                &mut attempt_of,
+                                &mut retries,
+                                &mut pending,
+                                &mut results,
+                                &mut completed,
+                                on_complete,
+                            );
+                        } else {
+                            k += 1;
+                        }
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    unreachable!("supervisor keeps a live sender")
+                }
+            }
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every cell completed"))
             .collect()
     }
 
@@ -370,7 +773,7 @@ impl Harness {
         configs: &[SystemConfig],
         nodes: u16,
         seeds: &[u64],
-    ) -> Vec<AppMatrix> {
+    ) -> Result<Vec<AppMatrix>, CellError> {
         let cells: Vec<Cell> = apps
             .iter()
             .flat_map(|app| {
@@ -381,8 +784,9 @@ impl Harness {
                 })
             })
             .collect();
-        let mut reports = self.run_cells(&cells).into_iter();
-        apps.iter()
+        let mut reports = self.run_cells(&cells)?.into_iter();
+        Ok(apps
+            .iter()
             .map(|app| AppMatrix {
                 app: app.clone(),
                 configs: configs.to_vec(),
@@ -392,24 +796,58 @@ impl Harness {
                     .map(|_| (&mut reports).take(seeds.len()).collect())
                     .collect(),
             })
-            .collect()
+            .collect())
     }
 
     /// Traces generated so far (one per distinct (app, nodes, seed)).
     pub fn trace_generations(&self) -> u64 {
-        self.traces.computes()
+        self.shared.traces.computes()
     }
 
     /// Baseline simulations performed so far (one per distinct triple —
     /// the exactly-once guarantee the caches exist for).
     pub fn baseline_runs(&self) -> u64 {
-        self.baselines.computes()
+        self.shared.baselines.computes()
     }
 
     /// Lookups served from a cache instead of recomputed, across both
     /// caches.
     pub fn cache_hits(&self) -> u64 {
-        self.traces.hits() + self.baselines.hits()
+        self.shared.traces.hits() + self.shared.baselines.hits()
+    }
+}
+
+/// The deadline supervisor's shared failure path: schedule a retry (with
+/// backoff) if the policy allows, otherwise finalize the cell's outcome.
+#[allow(clippy::too_many_arguments)]
+fn supervise_failure<F: Fn(usize, &CellOutcome)>(
+    index: usize,
+    err: CellError,
+    policy: &SupervisionPolicy,
+    cells: &[Cell],
+    attempt_of: &mut [u32],
+    retries: &mut [Vec<CellError>],
+    pending: &mut Vec<(usize, u32, Instant)>,
+    results: &mut [Option<CellOutcome>],
+    completed: &mut usize,
+    on_complete: &F,
+) {
+    if err.is_transient() && (retries[index].len() as u32) < policy.retries {
+        let timed_out = matches!(err, CellError::Timeout { .. });
+        retries[index].push(err);
+        let attempt = retries[index].len() as u32;
+        emit_retry(policy, index, attempt, timed_out);
+        let backoff = retry_backoff(cells[index].seed, attempt);
+        pending.push((index, attempt_of[index] + 1, Instant::now() + backoff));
+    } else {
+        let outcome = CellOutcome {
+            report: Err(err),
+            faults: FaultSummary::default(),
+            retries: std::mem::take(&mut retries[index]),
+        };
+        on_complete(index, &outcome);
+        results[index] = Some(outcome);
+        *completed += 1;
     }
 }
 
@@ -475,6 +913,8 @@ impl AppMatrix {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
+    use tb_trace::MemorySink;
 
     fn app() -> AppSpec {
         AppSpec::by_name("FMM").unwrap()
@@ -529,8 +969,16 @@ mod tests {
         assert!(outcomes[0].report.is_ok());
         assert!(outcomes[2].report.is_ok());
         assert!(outcomes[1].is_failed());
-        let msg = outcomes[1].report.as_ref().unwrap_err();
+        let err = outcomes[1].report.as_ref().unwrap_err();
+        let CellError::Panic(msg) = err else {
+            panic!("expected a panic error, got {err}");
+        };
         assert!(msg.contains("power of two"), "panic message kept: {msg}");
+        assert_eq!(err.kind(), "panic");
+        assert!(err.is_transient());
+        // The typed error round-trips through the journal encoding.
+        let back: CellError = serde::json::from_str(&serde::json::to_string(err)).unwrap();
+        assert_eq!(&back, err);
         // The caches survive the panic: later cells still run normally.
         let after = harness.run_cell(&Cell::new(app(), 8, 1, SystemConfig::Baseline));
         assert_eq!(after.config, "Baseline");
@@ -544,11 +992,120 @@ mod tests {
             .map(|c| Cell::new(app(), 8, 1, c))
             .collect();
         let outcomes = harness.run_cells_isolated(&cells);
-        let plain = harness.run_cells(&cells);
+        let plain = harness.run_cells(&cells).unwrap();
         for (outcome, report) in outcomes.iter().zip(&plain) {
             let ours = outcome.report.as_ref().unwrap();
             assert_eq!(ours.wall_time, report.wall_time);
             assert_eq!(outcome.faults, FaultSummary::default());
+            assert_eq!(outcome.attempts(), 1);
         }
+    }
+
+    #[test]
+    fn retry_history_records_each_attempt() {
+        let harness = Harness::serial();
+        let sink = Arc::new(MemorySink::new(1, 16));
+        let policy = SupervisionPolicy::default()
+            .with_retries(2)
+            .with_trace(SinkHandle::new(sink.clone()));
+        // Deterministic panic: every retry fails the same way, exhausting
+        // the budget.
+        let cells = vec![Cell::new(app(), 3, 1, SystemConfig::Thrifty)];
+        let outcomes = harness.run_cells_supervised(&cells, &policy);
+        assert_eq!(outcomes.len(), 1);
+        assert!(outcomes[0].is_failed());
+        assert_eq!(outcomes[0].attempts(), 3, "1 attempt + 2 retries");
+        assert_eq!(outcomes[0].retries.len(), 2);
+        for err in &outcomes[0].retries {
+            assert!(matches!(err, CellError::Panic(_)));
+        }
+        let events = sink.drain_sorted();
+        let attempts: Vec<u32> = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                TraceEventKind::CellRetry {
+                    attempt, timed_out, ..
+                } => {
+                    assert!(!timed_out, "panics are not timeouts");
+                    Some(attempt)
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(attempts, vec![1, 2]);
+    }
+
+    #[test]
+    fn deadline_supervisor_times_out_stuck_cells() {
+        let harness = Harness::new(2);
+        // Ocean at 64 nodes takes far longer than 1 ms: the deadline
+        // fires, the slot is reclaimed, and the abandoned thread finishes
+        // (or dies with the process) on its own.
+        let cells = vec![Cell::new(
+            AppSpec::by_name("Ocean").unwrap(),
+            64,
+            1,
+            SystemConfig::Baseline,
+        )];
+        let policy = SupervisionPolicy::default().with_timeout(Some(Duration::from_millis(1)));
+        let outcomes = harness.run_cells_supervised(&cells, &policy);
+        assert_eq!(outcomes.len(), 1);
+        let err = outcomes[0].report.as_ref().unwrap_err();
+        assert_eq!(err, &CellError::Timeout { limit_ms: 1 });
+        assert!(err.is_transient());
+        assert_eq!(format!("{err}"), "timeout after 1 ms");
+    }
+
+    #[test]
+    fn deadline_supervisor_completes_fast_cells_and_retries_slow_ones() {
+        let harness = Harness::new(2);
+        let cells = vec![Cell::new(
+            AppSpec::by_name("Ocean").unwrap(),
+            64,
+            2,
+            SystemConfig::Baseline,
+        )];
+        let policy = SupervisionPolicy::default()
+            .with_retries(1)
+            .with_timeout(Some(Duration::from_millis(1)));
+        let outcomes = harness.run_cells_supervised(&cells, &policy);
+        assert_eq!(outcomes[0].attempts(), 2, "one timeout retry was burned");
+        assert_eq!(
+            outcomes[0].retries,
+            vec![CellError::Timeout { limit_ms: 1 }]
+        );
+        assert!(outcomes[0].is_failed(), "the retry times out as well");
+
+        // A roomy deadline lets a normal matrix complete with no retries,
+        // identical to the plain path.
+        let roomy = SupervisionPolicy::default().with_timeout(Some(Duration::from_secs(600)));
+        let cells: Vec<Cell> = SystemConfig::ALL
+            .into_iter()
+            .map(|c| Cell::new(app(), 8, 1, c))
+            .collect();
+        let supervised = harness.run_cells_supervised(&cells, &roomy);
+        let plain = harness.run_cells(&cells).unwrap();
+        for (outcome, report) in supervised.iter().zip(&plain) {
+            assert_eq!(outcome.attempts(), 1);
+            assert_eq!(outcome.report.as_ref().unwrap().wall_time, report.wall_time);
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        for attempt in 1..=10u32 {
+            let a = retry_backoff(42, attempt);
+            let b = retry_backoff(42, attempt);
+            assert_eq!(a, b, "same seed and attempt, same backoff");
+            assert!(a >= Duration::from_millis(25), "attempt {attempt}: {a:?}");
+            assert!(
+                a <= Duration::from_millis(2_000),
+                "attempt {attempt}: {a:?}"
+            );
+        }
+        // Different seeds decorrelate the jitter.
+        assert_ne!(retry_backoff(1, 1), retry_backoff(2, 1));
+        // The nominal delay grows until the cap.
+        assert!(retry_backoff(7, 6) > retry_backoff(7, 1));
     }
 }

@@ -48,10 +48,20 @@
 //! ```
 
 pub mod harness;
+pub mod journal;
 pub mod report;
 pub mod run;
 pub mod sim;
 
-pub use harness::{AppMatrix, BaselineBundle, Cell, CellOutcome, Harness};
-pub use report::{AggregateReport, BarrierEventCounts, InstanceRecord, RunReport, SiteSummary};
-pub use sim::{simulate, simulate_faulted, Simulator, SimulatorConfig, TimeSharing};
+pub use harness::{
+    retry_backoff, AppMatrix, BaselineBundle, Cell, CellError, CellOutcome, Harness,
+    SupervisionPolicy,
+};
+pub use journal::{CellKey, JournalError, StoredOutcome, SweepJournal};
+pub use report::{
+    AggregateReport, BarrierEventCounts, CellCoverage, InstanceRecord, RunReport, SiteSummary,
+};
+pub use sim::{
+    simulate, simulate_faulted, try_simulate_faulted, LivelockDiagnostics, Simulator,
+    SimulatorConfig, TimeSharing, DEFAULT_PROGRESS_BUDGET,
+};

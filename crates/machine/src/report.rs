@@ -1,5 +1,6 @@
 //! Per-run results: everything the evaluation section consumes.
 
+use crate::harness::CellError;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use tb_energy::{CategoryBreakdown, EnergyCategory, MachineLedger};
@@ -193,6 +194,81 @@ impl RunReport {
     }
 }
 
+/// Cell-level coverage accounting for one (app, configuration) aggregate:
+/// how many matrix cells completed, how many needed retries, and how many
+/// were lost to each failure class. This is what lets a degraded sweep
+/// state exactly which cells its statistics cover instead of aborting the
+/// whole run (DESIGN.md §11).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellCoverage {
+    /// Cells that produced a report (possibly after retries).
+    pub completed: u64,
+    /// Cells that needed at least one retry, whether or not they
+    /// eventually completed.
+    pub retried: u64,
+    /// Cells whose final attempt panicked.
+    pub panicked: u64,
+    /// Cells whose final attempt exceeded the wall-clock deadline.
+    pub timed_out: u64,
+    /// Cells whose final attempt livelocked (caught by the simulator's
+    /// progress watchdog).
+    pub livelocked: u64,
+}
+
+impl CellCoverage {
+    /// Total cells accounted for (completed + failed).
+    pub fn attempted(&self) -> u64 {
+        self.completed + self.failed()
+    }
+
+    /// Cells that failed to produce a report, across all classes.
+    pub fn failed(&self) -> u64 {
+        self.panicked + self.timed_out + self.livelocked
+    }
+
+    /// Whether every attempted cell completed.
+    pub fn is_complete(&self) -> bool {
+        self.failed() == 0
+    }
+
+    /// Classifies one final cell error into its failure counter.
+    pub fn record_error(&mut self, error: &CellError) {
+        match error {
+            CellError::Panic(_) => self.panicked += 1,
+            CellError::Livelock(_) => self.livelocked += 1,
+            CellError::Timeout { .. } => self.timed_out += 1,
+        }
+    }
+
+    /// Adds another coverage tally into this one (field-wise addition).
+    pub fn merge(&mut self, other: &CellCoverage) {
+        self.completed += other.completed;
+        self.retried += other.retried;
+        self.panicked += other.panicked;
+        self.timed_out += other.timed_out;
+        self.livelocked += other.livelocked;
+    }
+}
+
+impl fmt::Display for CellCoverage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{} cells completed", self.completed, self.attempted())?;
+        if self.retried > 0 {
+            write!(f, ", {} retried", self.retried)?;
+        }
+        if self.panicked > 0 {
+            write!(f, ", {} panicked", self.panicked)?;
+        }
+        if self.timed_out > 0 {
+            write!(f, ", {} timed out", self.timed_out)?;
+        }
+        if self.livelocked > 0 {
+            write!(f, ", {} livelocked", self.livelocked)?;
+        }
+        Ok(())
+    }
+}
+
 /// Mean/σ summary of one (application, configuration) cell across
 /// replicated seeds — what `sweep --seeds N` reports instead of a single
 /// [`RunReport`].
@@ -229,6 +305,11 @@ pub struct AggregateReport {
     pub failed_cells: u64,
     /// Panic messages of the failed cells, in cell order.
     pub failures: Vec<String>,
+    /// Per-failure-class cell accounting (completed / retried / panicked /
+    /// timed out / livelocked). Driven by [`AggregateReport::push`] and
+    /// [`AggregateReport::record_error`]; the untyped
+    /// [`AggregateReport::record_failure`] path leaves it unchanged.
+    pub coverage: CellCoverage,
 }
 
 impl AggregateReport {
@@ -247,6 +328,7 @@ impl AggregateReport {
             faults: FaultSummary::default(),
             failed_cells: 0,
             failures: Vec::new(),
+            coverage: CellCoverage::default(),
         }
     }
 
@@ -260,6 +342,7 @@ impl AggregateReport {
         self.slowdown_vs_baseline.push(report.slowdown_vs(baseline));
         self.imbalance.push(report.barrier_imbalance());
         self.counts.merge(&report.counts);
+        self.coverage.completed += 1;
     }
 
     /// Folds in one seed's fault tallies (see [`AggregateReport::faults`]).
@@ -271,6 +354,22 @@ impl AggregateReport {
     pub fn record_failure(&mut self, message: impl Into<String>) {
         self.failed_cells += 1;
         self.failures.push(message.into());
+    }
+
+    /// Records a cell whose final supervised attempt failed with a typed
+    /// error: the rendered message lands in `failures` and the error class
+    /// in `coverage`.
+    pub fn record_error(&mut self, error: &CellError) {
+        self.coverage.record_error(error);
+        self.record_failure(error.to_string());
+    }
+
+    /// Notes that a completed-or-failed cell burned `retries` retries
+    /// before its outcome became final.
+    pub fn record_retries(&mut self, retries: u64) {
+        if retries > 0 {
+            self.coverage.retried += 1;
+        }
     }
 
     /// Number of replicated seeds folded in so far.
@@ -463,6 +562,32 @@ mod tests {
         assert!((agg.energy_vs_baseline.mean() - 1.0).abs() < 1e-12);
         assert!(agg.slowdown_vs_baseline.mean().abs() < 1e-12);
         assert_eq!(agg.slowdown_vs_baseline.std_dev(), 0.0);
+    }
+
+    #[test]
+    fn coverage_classifies_and_merges() {
+        let mut agg = AggregateReport::new("X", "Thrifty", 2);
+        let base = report(10.0, 10.0, 1000);
+        agg.push(&base, &base);
+        agg.record_error(&CellError::Panic("boom".into()));
+        agg.record_error(&CellError::Timeout { limit_ms: 5 });
+        agg.record_retries(2);
+        agg.record_retries(0);
+        assert_eq!(agg.failed_cells, 2);
+        assert_eq!(agg.failures[0], "panic: boom");
+        assert_eq!(agg.coverage.completed, 1);
+        assert_eq!(agg.coverage.failed(), 2);
+        assert!(!agg.coverage.is_complete());
+        assert_eq!(agg.coverage.retried, 1, "only nonzero retry counts mark");
+        let mut total = CellCoverage::default();
+        total.merge(&agg.coverage);
+        total.merge(&agg.coverage);
+        assert_eq!(total.attempted(), 6);
+        let s = agg.coverage.to_string();
+        assert!(s.contains("1/3 cells completed"), "{s}");
+        assert!(s.contains("1 panicked"), "{s}");
+        assert!(s.contains("1 timed out"), "{s}");
+        assert!(!s.contains("livelocked"), "{s}");
     }
 
     #[test]

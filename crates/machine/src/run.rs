@@ -118,7 +118,9 @@ pub fn run_config_matrix(app: &AppSpec, threads: u16, seed: u64) -> Vec<RunRepor
         .into_iter()
         .map(|sys| Cell::new(app.clone(), threads, seed, sys))
         .collect();
-    harness.run_cells(&cells)
+    harness
+        .run_cells(&cells)
+        .expect("serial convenience wrapper runs fault-free cells")
 }
 
 #[cfg(test)]

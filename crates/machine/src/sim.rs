@@ -31,6 +31,15 @@ use tb_workloads::AppTrace;
 /// How long one spin-loop iteration takes to notice an invalidated flag
 /// and re-issue the load.
 const SPIN_GRAIN: Cycles = Cycles::from_nanos(4);
+/// Default livelock watchdog budget: how many events the simulator may
+/// process *since the last barrier departure* before declaring the run
+/// livelocked. Progress-relative (not total), so it is independent of
+/// trace length: a healthy run needs only O(threads) events between
+/// departures (a few per thread per episode), while a livelocked run
+/// cycles wedged guard timers without ever departing. 2^18 leaves three
+/// orders of magnitude of headroom at 64 nodes yet trips in milliseconds
+/// of host time.
+pub const DEFAULT_PROGRESS_BUDGET: u64 = 1 << 18;
 /// Lock hand-off cost between consecutive barrier check-ins (ticket
 /// transfer over the coherence protocol).
 const LOCK_HANDOFF: Cycles = Cycles::from_nanos(40);
@@ -82,6 +91,54 @@ pub struct SimulatorConfig {
     /// index; the algorithm it drives emits the semantic events through
     /// the same handle.
     pub trace: SinkHandle,
+    /// Livelock watchdog: the maximum number of events processed since the
+    /// last barrier departure before [`Simulator::try_run_with_faults`]
+    /// gives up with [`LivelockDiagnostics`]. `None` disables the
+    /// watchdog. Counting events does not alter the schedule, so the
+    /// default budget is active even on fault-free runs.
+    pub progress_budget: Option<u64>,
+}
+
+/// What the livelock watchdog saw when it tripped: either the
+/// events-since-progress budget was exhausted (guard timers cycling with
+/// no departures) or the event queue drained with threads still waiting
+/// (`budget == 0`, `queue_len == 0` — every recovery path is dead).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct LivelockDiagnostics {
+    /// Events processed since the last barrier departure.
+    pub events_since_progress: u64,
+    /// The budget those events exhausted (zero when the queue drained
+    /// instead).
+    pub budget: u64,
+    /// The earliest episode a live thread is stuck at.
+    pub episode: u64,
+    /// Pending events at the moment the watchdog tripped.
+    pub queue_len: u64,
+    /// Threads that had not finished their trace.
+    pub live_threads: u64,
+}
+
+impl std::fmt::Display for LivelockDiagnostics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.queue_len == 0 && self.budget == 0 {
+            write!(
+                f,
+                "event queue drained with {} live thread(s) stuck at episode {}",
+                self.live_threads, self.episode
+            )
+        } else {
+            write!(
+                f,
+                "no departure in {} events (budget {}); {} live thread(s) stuck at \
+                 episode {}, {} event(s) pending",
+                self.events_since_progress,
+                self.budget,
+                self.live_threads,
+                self.episode,
+                self.queue_len
+            )
+        }
+    }
 }
 
 /// Parameters of the §3.4.1 time-sharing alternative.
@@ -107,6 +164,7 @@ impl SimulatorConfig {
             bus: None,
             faults: None,
             trace: SinkHandle::disabled(),
+            progress_budget: Some(DEFAULT_PROGRESS_BUDGET),
         }
     }
 
@@ -222,6 +280,8 @@ pub struct Simulator {
     injector: Option<FaultInjector>,
     /// Injected-fault and recovery tallies (all zero in fault-free runs).
     fault_summary: FaultSummary,
+    /// Livelock watchdog: events processed since the last departure.
+    events_since_progress: u64,
     // Cached power values.
     p_compute: f64,
     p_spin: f64,
@@ -334,6 +394,7 @@ impl Simulator {
             }),
             injector,
             fault_summary: FaultSummary::default(),
+            events_since_progress: 0,
             p_compute,
             p_spin,
             cfg,
@@ -352,12 +413,37 @@ impl Simulator {
     /// recovery tallies. The summary rides next to the report rather than
     /// inside it because the serialized `RunReport` shape is frozen by
     /// golden fixtures; in fault-free runs it is all zeros.
-    pub fn run_with_faults(mut self) -> (RunReport, FaultSummary) {
+    ///
+    /// # Panics
+    ///
+    /// Panics if the livelock watchdog trips (see
+    /// [`try_run_with_faults`](Self::try_run_with_faults) for the
+    /// non-panicking form).
+    pub fn run_with_faults(self) -> (RunReport, FaultSummary) {
+        match self.try_run_with_faults() {
+            Ok(out) => out,
+            Err(d) => panic!("simulation livelocked: {d}"),
+        }
+    }
+
+    /// Runs to completion, or returns [`LivelockDiagnostics`] if the
+    /// watchdog trips: either no barrier departure happened within the
+    /// configured event budget, or the event queue drained with threads
+    /// still waiting (a lost wake-up whose every recovery path — including
+    /// the guard timer — is dead). Fault plans with `wedge_guard` provoke
+    /// exactly this; the budget check itself never alters the schedule.
+    pub fn try_run_with_faults(mut self) -> Result<(RunReport, FaultSummary), LivelockDiagnostics> {
         for tid in 0..self.trace.threads {
             let dur = self.trace.steps[0].compute[tid];
             self.queue.schedule(dur, Event::ComputeDone { tid });
         }
         while let Some((now, ev)) = self.queue.pop() {
+            self.events_since_progress += 1;
+            if let Some(budget) = self.cfg.progress_budget {
+                if self.events_since_progress > budget {
+                    return Err(self.livelock_diagnostics(budget));
+                }
+            }
             match ev {
                 Event::ComputeDone { tid } => self.on_compute_done(tid, now),
                 Event::TimerFired { tid, episode } => self.on_timer(tid, episode, now),
@@ -368,19 +454,18 @@ impl Simulator {
                 Event::GuardTimer { tid, episode } => self.on_guard_timer(tid, episode, now),
             }
         }
+        // The termination oracle for fault runs: a lost wake-up that every
+        // recovery path failed to rescue drains the queue with a thread
+        // still waiting.
+        if !self.procs.iter().all(|p| p.state == ProcState::Done) {
+            return Err(self.livelock_diagnostics(0));
+        }
         let wall_time = self
             .procs
             .iter()
             .map(|p| p.depart_time)
             .max()
             .unwrap_or(Cycles::ZERO);
-        // A real (not debug) assertion: this is the termination oracle for
-        // fault runs — a lost wake-up that the guard timer failed to rescue
-        // drains the queue with a thread still waiting.
-        assert!(
-            self.procs.iter().all(|p| p.state == ProcState::Done),
-            "simulation drained with live threads"
-        );
         self.counts.episodes = self.instances.len() as u64;
         let summary = self.fault_summary;
         let report = RunReport {
@@ -395,7 +480,23 @@ impl Simulator {
             observed_thread: self.cfg.observed_thread,
             trace: None,
         };
-        (report, summary)
+        Ok((report, summary))
+    }
+
+    /// Snapshot of the stuck state for the watchdog's error report.
+    fn livelock_diagnostics(&self, budget: u64) -> LivelockDiagnostics {
+        let live: Vec<_> = self
+            .procs
+            .iter()
+            .filter(|p| p.state != ProcState::Done)
+            .collect();
+        LivelockDiagnostics {
+            events_since_progress: self.events_since_progress,
+            budget,
+            episode: live.iter().map(|p| p.step).min().unwrap_or(0) as u64,
+            queue_len: self.queue.len() as u64,
+            live_threads: live.len() as u64,
+        }
     }
 
     /// The memory system's statistics (after `run`, use the report; this
@@ -919,8 +1020,28 @@ impl Simulator {
         if self.procs[tid].step != episode {
             return; // stale guard from a departed episode
         }
-        let released = self.released[episode];
         let pc = self.trace.steps[episode].pc;
+        // Fault (e): the firing guard may wedge — it neither rescues nor
+        // re-arms, killing the last recovery path for this thread. The
+        // harness-level watchdog, not the barrier, must catch what follows.
+        if self
+            .injector
+            .as_mut()
+            .is_some_and(FaultInjector::wedge_guard)
+        {
+            self.fault_summary.record(FaultKind::WedgedGuard);
+            self.emit(
+                tid,
+                now,
+                TraceEventKind::FaultInjected {
+                    episode: episode as u64,
+                    pc,
+                    fault: FaultKind::WedgedGuard,
+                },
+            );
+            return;
+        }
+        let released = self.released[episode];
         let recovery = TraceEventKind::GuardRecovery {
             episode: episode as u64,
             pc,
@@ -1056,6 +1177,8 @@ impl Simulator {
     /// Thread `tid` is awake, the barrier released: run the §3.2.1/§3.3.3
     /// bookkeeping and move on to the next phase.
     fn depart(&mut self, tid: usize, wake_ts: Cycles, depart_time: Cycles) {
+        // Every departure is forward progress for the livelock watchdog.
+        self.events_since_progress = 0;
         let step = self.procs[tid].step;
         let pc = self.pc_of(step);
         let finish = self.algo.finish_barrier(ThreadId::new(tid), pc, wake_ts);
@@ -1112,11 +1235,26 @@ pub fn simulate_faulted(
     algo_cfg: AlgorithmConfig,
     oracle: Option<tb_core::RecordedBitOracle>,
 ) -> (RunReport, FaultSummary) {
+    match try_simulate_faulted(cfg, trace, algo_cfg, oracle) {
+        Ok(out) => out,
+        Err(d) => panic!("simulation livelocked: {d}"),
+    }
+}
+
+/// Like [`simulate_faulted`], but a tripped livelock watchdog returns
+/// [`LivelockDiagnostics`] instead of panicking — the form the harness's
+/// supervision layer consumes to report a cell as livelocked.
+pub fn try_simulate_faulted(
+    cfg: SimulatorConfig,
+    trace: &AppTrace,
+    algo_cfg: AlgorithmConfig,
+    oracle: Option<tb_core::RecordedBitOracle>,
+) -> Result<(RunReport, FaultSummary), LivelockDiagnostics> {
     let mut algo = BarrierAlgorithm::new(algo_cfg, trace.threads);
     if let Some(oracle) = oracle {
         algo.install_oracle(oracle);
     }
-    Simulator::new(cfg, trace.clone(), algo).run_with_faults()
+    Simulator::new(cfg, trace.clone(), algo).try_run_with_faults()
 }
 
 #[cfg(test)]
@@ -1153,6 +1291,7 @@ mod tests {
             bus: None,
             faults: None,
             trace: SinkHandle::disabled(),
+            progress_budget: Some(DEFAULT_PROGRESS_BUDGET),
         }
     }
 
@@ -1502,17 +1641,67 @@ mod tests {
     #[test]
     fn every_fault_scenario_terminates() {
         // The acceptance property: under any seeded plan, every episode
-        // releases every thread (run()'s drain assertion is the oracle).
+        // releases every thread (the watchdog's Ok is the oracle). The
+        // `hang` scenario is the deliberate exception — it wedges every
+        // guard so the watchdog *must* trip instead of completing.
         let trace = tiny_app(20, 3000, 0.30).generate(16, 61);
         for scenario in tb_core::FaultPlan::scenario_names() {
             for seed in [1u64, 42, 1234] {
                 let c = fault_cfg("Thrifty", scenario, seed);
                 let algo = AlgorithmConfig::thrifty()
                     .with_quarantine(Some(tb_core::QuarantineConfig::default()));
+                if *scenario == "hang" {
+                    continue; // covered by hang_scenario_trips_the_watchdog
+                }
                 let (r, _) = simulate_faulted(c, &trace, algo, None);
                 assert_eq!(r.counts.episodes, 20, "{scenario} seed {seed} completes");
             }
         }
+    }
+
+    #[test]
+    fn hang_scenario_trips_the_watchdog() {
+        // External-only wake-ups, lost invalidations, and wedged guards:
+        // the first lost signal leaves its thread with no recovery path.
+        // The run must end in a typed livelock, never an infinite loop.
+        let trace = tiny_app(20, 3000, 0.30).generate(16, 62);
+        let algo = AlgorithmConfig::thrifty().with_wakeup(tb_core::WakeupMode::ExternalOnly);
+        let c = fault_cfg("Thrifty", "hang", 7);
+        let d = try_simulate_faulted(c, &trace, algo, None)
+            .expect_err("wedged guards must livelock this run");
+        assert!(d.live_threads > 0, "someone is stuck: {d}");
+        assert!(
+            (d.episode as usize) < trace.steps.len(),
+            "stuck episode {} in range",
+            d.episode
+        );
+        // Round-trips for the journal.
+        let back: LivelockDiagnostics = serde::json::from_str(&serde::json::to_string(&d)).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn watchdog_budget_bounds_events_without_progress() {
+        // A healthy run under an absurdly small budget must trip (sanity
+        // check that the counter is actually consulted) …
+        let trace = tiny_app(8, 2000, 0.25).generate(16, 65);
+        let mut c = cfg("Thrifty");
+        c.progress_budget = Some(4);
+        let algo = BarrierAlgorithm::new(AlgorithmConfig::thrifty(), 16);
+        let d = Simulator::new(c, trace.clone(), algo)
+            .try_run_with_faults()
+            .expect_err("budget of 4 events cannot reach a departure");
+        assert!(d.budget == 4 && d.events_since_progress > 4);
+        // … while the default budget never interferes with clean runs
+        // (every other test in this module exercises that) and disabling
+        // the watchdog restores the unchecked behavior.
+        let mut c = cfg("Thrifty");
+        c.progress_budget = None;
+        let algo = BarrierAlgorithm::new(AlgorithmConfig::thrifty(), 16);
+        let (r, _) = Simulator::new(c, trace, algo)
+            .try_run_with_faults()
+            .expect("clean run completes without a watchdog");
+        assert_eq!(r.counts.episodes, 8);
     }
 
     #[test]

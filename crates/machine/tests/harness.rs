@@ -29,8 +29,8 @@ fn all_cells(apps: &[AppSpec], seeds: &[u64]) -> Vec<Cell> {
 fn parallel_reports_match_serial_byte_for_byte() {
     let apps = apps(3);
     let cells = all_cells(&apps, &[SEED]);
-    let serial = Harness::new(1).run_cells(&cells);
-    let parallel = Harness::new(8).run_cells(&cells);
+    let serial = Harness::new(1).run_cells(&cells).unwrap();
+    let parallel = Harness::new(8).run_cells(&cells).unwrap();
     assert_eq!(serial.len(), parallel.len());
     // RunReport has float fields, so compare the canonical JSON encoding:
     // deterministic simulation must make parallel output *identical*, not
@@ -50,7 +50,7 @@ fn harness_matches_run_config_matrix() {
         .into_iter()
         .map(|c| Cell::new(app.clone(), NODES, SEED, c))
         .collect();
-    let via_harness = harness.run_cells(&cells);
+    let via_harness = harness.run_cells(&cells).unwrap();
     assert_eq!(
         serde::json::to_string(&via_matrix),
         serde::json::to_string(&via_harness)
@@ -62,7 +62,7 @@ fn baseline_runs_exactly_once_per_triple_under_contention() {
     let apps = apps(2);
     let seeds = [SEED, SEED + 1];
     let harness = Harness::new(8);
-    let reports = harness.run_cells(&all_cells(&apps, &seeds));
+    let reports = harness.run_cells(&all_cells(&apps, &seeds)).unwrap();
     assert_eq!(reports.len(), 2 * 5 * 2);
     // 2 apps × 2 seeds = 4 triples; each generates one trace and runs
     // Baseline once even though 8 workers race for them and three configs
@@ -74,7 +74,7 @@ fn baseline_runs_exactly_once_per_triple_under_contention() {
     let hits_after_first = harness.cache_hits();
     assert!(hits_after_first >= 20 - 4, "got {hits_after_first} hits");
     // Re-running the same cells is all hits, no new simulations.
-    let again = harness.run_cells(&all_cells(&apps, &seeds));
+    let again = harness.run_cells(&all_cells(&apps, &seeds)).unwrap();
     assert_eq!(harness.baseline_runs(), 4);
     assert_eq!(harness.trace_generations(), 4);
     assert!(harness.cache_hits() > hits_after_first);
@@ -102,6 +102,7 @@ fn results_come_back_in_cell_order() {
     let harness = Harness::new(4);
     let names: Vec<String> = harness
         .run_cells(&cells)
+        .unwrap()
         .into_iter()
         .map(|r| r.config)
         .collect();
@@ -117,7 +118,9 @@ fn matrix_reshape_and_aggregates() {
     let apps = apps(2);
     let seeds = [SEED, SEED + 1, SEED + 2];
     let harness = Harness::new(8);
-    let matrix = harness.run_matrix(&apps, &SystemConfig::ALL, NODES, &seeds);
+    let matrix = harness
+        .run_matrix(&apps, &SystemConfig::ALL, NODES, &seeds)
+        .unwrap();
     assert_eq!(matrix.len(), 2);
     for (m, app) in matrix.iter().zip(&apps) {
         assert_eq!(m.app.name, app.name);
@@ -149,7 +152,9 @@ fn matrix_reshape_and_aggregates() {
 fn config_reports_selects_by_config() {
     let apps = apps(1);
     let harness = Harness::serial();
-    let matrix = harness.run_matrix(&apps, &SystemConfig::ALL, NODES, &[SEED]);
+    let matrix = harness
+        .run_matrix(&apps, &SystemConfig::ALL, NODES, &[SEED])
+        .unwrap();
     let thrifty = matrix[0].config_reports(SystemConfig::Thrifty);
     assert_eq!(thrifty.len(), 1);
     assert_eq!(thrifty[0].config, "Thrifty");

@@ -52,6 +52,8 @@ pub struct TraceKindCounts {
     pub quarantine_enters: u64,
     /// Barrier sites leaving predictor quarantine.
     pub quarantine_leaves: u64,
+    /// Supervisor retries of transiently failed sweep cells.
+    pub cell_retries: u64,
 }
 
 impl TraceKindCounts {
@@ -82,6 +84,7 @@ impl TraceKindCounts {
                 TraceEventKind::GuardRecovery { .. } => c.guard_recoveries += 1,
                 TraceEventKind::Quarantine { entered: true, .. } => c.quarantine_enters += 1,
                 TraceEventKind::Quarantine { entered: false, .. } => c.quarantine_leaves += 1,
+                TraceEventKind::CellRetry { .. } => c.cell_retries += 1,
             }
         }
         c
@@ -106,6 +109,7 @@ impl TraceKindCounts {
             + self.guard_recoveries
             + self.quarantine_enters
             + self.quarantine_leaves
+            + self.cell_retries
     }
 }
 
@@ -424,12 +428,23 @@ mod tests {
                     entered: false,
                 },
             ),
+            ev(
+                5,
+                0,
+                TraceEventKind::CellRetry {
+                    episode: 2,
+                    pc: 0,
+                    attempt: 1,
+                    timed_out: true,
+                },
+            ),
         ];
         let c = TraceKindCounts::from_events(&events);
         assert_eq!(c.faults_injected, 1);
         assert_eq!(c.guard_recoveries, 1);
         assert_eq!(c.quarantine_enters, 1);
         assert_eq!(c.quarantine_leaves, 1);
+        assert_eq!(c.cell_retries, 1);
         assert_eq!(c.total(), events.len() as u64);
     }
 

@@ -21,6 +21,10 @@ pub enum FaultKind {
     Oversleep,
     /// A real-threads `unpark` analog was delayed.
     DelayedUnpark,
+    /// A guard timer wedged permanently: instead of rescuing its thread it
+    /// went dead, leaving the thread stuck until the harness watchdog
+    /// trips.
+    WedgedGuard,
 }
 
 impl FaultKind {
@@ -33,6 +37,7 @@ impl FaultKind {
             FaultKind::SpuriousTimer => "spurious_timer",
             FaultKind::Oversleep => "oversleep",
             FaultKind::DelayedUnpark => "delayed_unpark",
+            FaultKind::WedgedGuard => "wedged_guard",
         }
     }
 }
@@ -193,6 +198,19 @@ pub enum TraceEventKind {
         /// (confidence rebuilt).
         entered: bool,
     },
+    /// The sweep supervisor re-ran a transiently failed cell. Emitted by
+    /// the harness, not the simulator: `episode` carries the cell's index
+    /// within the sweep and `pc` is always zero (no barrier site).
+    CellRetry {
+        /// Cell index within the sweep (not a barrier episode).
+        episode: u64,
+        /// Unused for supervisor events; always zero.
+        pc: u64,
+        /// The attempt number about to run (1 = first retry).
+        attempt: u32,
+        /// Whether the failed attempt timed out (vs. panicked).
+        timed_out: bool,
+    },
 }
 
 impl TraceEventKind {
@@ -214,6 +232,7 @@ impl TraceEventKind {
             TraceEventKind::FaultInjected { .. } => "fault_injected",
             TraceEventKind::GuardRecovery { .. } => "guard_recovery",
             TraceEventKind::Quarantine { .. } => "quarantine",
+            TraceEventKind::CellRetry { .. } => "cell_retry",
         }
     }
 
@@ -234,7 +253,8 @@ impl TraceEventKind {
             | TraceEventKind::CutoffDisable { episode, .. }
             | TraceEventKind::FaultInjected { episode, .. }
             | TraceEventKind::GuardRecovery { episode, .. }
-            | TraceEventKind::Quarantine { episode, .. } => episode,
+            | TraceEventKind::Quarantine { episode, .. }
+            | TraceEventKind::CellRetry { episode, .. } => episode,
         }
     }
 
@@ -255,7 +275,8 @@ impl TraceEventKind {
             | TraceEventKind::CutoffDisable { pc, .. }
             | TraceEventKind::FaultInjected { pc, .. }
             | TraceEventKind::GuardRecovery { pc, .. }
-            | TraceEventKind::Quarantine { pc, .. } => pc,
+            | TraceEventKind::Quarantine { pc, .. }
+            | TraceEventKind::CellRetry { pc, .. } => pc,
         }
     }
 }
@@ -349,6 +370,12 @@ mod tests {
                 pc: 7,
                 entered: true,
             },
+            TraceEventKind::CellRetry {
+                episode: 3,
+                pc: 7,
+                attempt: 1,
+                timed_out: false,
+            },
         ];
         let mut names = std::collections::BTreeSet::new();
         for k in kinds {
@@ -356,7 +383,7 @@ mod tests {
             assert_eq!(k.pc(), 7);
             names.insert(k.name());
         }
-        assert_eq!(names.len(), 15, "names are distinct");
+        assert_eq!(names.len(), 16, "names are distinct");
     }
 
     #[test]
@@ -368,6 +395,7 @@ mod tests {
             FaultKind::SpuriousTimer,
             FaultKind::Oversleep,
             FaultKind::DelayedUnpark,
+            FaultKind::WedgedGuard,
         ];
         let names: std::collections::BTreeSet<_> = kinds.iter().map(|k| k.name()).collect();
         assert_eq!(names.len(), kinds.len());

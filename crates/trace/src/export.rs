@@ -93,6 +93,12 @@ fn args_for(kind: &TraceEventKind) -> Value {
         TraceEventKind::Quarantine { entered, .. } => {
             fields.push(("entered", Value::Bool(entered)));
         }
+        TraceEventKind::CellRetry {
+            attempt, timed_out, ..
+        } => {
+            fields.push(("attempt", Value::U64(attempt as u64)));
+            fields.push(("timed_out", Value::Bool(timed_out)));
+        }
         TraceEventKind::SpinStart { .. }
         | TraceEventKind::InternalWake { .. }
         | TraceEventKind::ExternalWake { .. }

@@ -32,7 +32,23 @@ pub struct Options {
     /// Fault scenario name for `sweep --faults` (validated against
     /// [`FaultPlan::scenario_names`] at parse time).
     pub faults: Option<String>,
+    /// Transient-failure retry budget per cell for supervised sweeps
+    /// (`--retries`, at most [`MAX_RETRIES`]).
+    pub retries: u32,
+    /// Per-attempt wall-clock deadline in milliseconds (`--timeout-ms`);
+    /// `None` waits indefinitely.
+    pub timeout_ms: Option<u64>,
+    /// Write a crash-consistent sweep journal to this path (`--journal`).
+    pub journal: Option<String>,
+    /// Resume a sweep from an existing journal (`--resume`); mutually
+    /// exclusive with `--journal` (resume appends to the journal it
+    /// reads).
+    pub resume: Option<String>,
 }
+
+/// Cap on `--retries`: backoff doubles per attempt, so anything deeper
+/// than this spends more time sleeping than simulating.
+pub const MAX_RETRIES: u32 = 10;
 
 impl Default for Options {
     fn default() -> Self {
@@ -47,6 +63,10 @@ impl Default for Options {
             format: "perfetto".to_string(),
             ring: 1 << 16,
             faults: None,
+            retries: 0,
+            timeout_ms: None,
+            journal: None,
+            resume: None,
         }
     }
 }
@@ -164,8 +184,38 @@ pub fn parse_options(args: &[String]) -> Result<Options, String> {
                 }
                 opts.faults = Some(v.clone());
             }
+            "--retries" => {
+                let v = it.next().ok_or("--retries needs a value")?;
+                opts.retries = v.parse().map_err(|_| format!("bad retry count {v:?}"))?;
+                if opts.retries > MAX_RETRIES {
+                    return Err(format!(
+                        "--retries must be at most {MAX_RETRIES}, got {}",
+                        opts.retries
+                    ));
+                }
+            }
+            "--timeout-ms" => {
+                let v = it.next().ok_or("--timeout-ms needs a value")?;
+                opts.timeout_ms = Some(v.parse().map_err(|_| format!("bad timeout {v:?}"))?);
+                if opts.timeout_ms == Some(0) {
+                    return Err("--timeout-ms must be positive".to_string());
+                }
+            }
+            "--journal" => {
+                opts.journal = Some(it.next().ok_or("--journal needs a value")?.clone());
+            }
+            "--resume" => {
+                opts.resume = Some(it.next().ok_or("--resume needs a value")?.clone());
+            }
             other => return Err(format!("unknown option {other:?}")),
         }
+    }
+    if opts.journal.is_some() && opts.resume.is_some() {
+        return Err(
+            "--journal and --resume are mutually exclusive (resume appends to the journal \
+             it reads)"
+                .to_string(),
+        );
     }
     Ok(opts)
 }
@@ -268,6 +318,62 @@ mod tests {
             assert!(err.contains(name), "error lists {name:?}: {err}");
         }
         assert!(parse(&["--faults"]).is_err(), "missing value");
+    }
+
+    #[test]
+    fn supervision_flags_round_trip() {
+        let opts = parse(&[
+            "--retries",
+            "3",
+            "--timeout-ms",
+            "5000",
+            "--journal",
+            "sweep.jsonl",
+        ])
+        .unwrap();
+        assert_eq!(opts.retries, 3);
+        assert_eq!(opts.timeout_ms, Some(5000));
+        assert_eq!(opts.journal.as_deref(), Some("sweep.jsonl"));
+        assert_eq!(opts.resume, None);
+        let opts = parse(&["--resume", "sweep.jsonl"]).unwrap();
+        assert_eq!(opts.resume.as_deref(), Some("sweep.jsonl"));
+        assert_eq!(opts.journal, None);
+    }
+
+    #[test]
+    fn rejects_bad_retries() {
+        let err = parse(&["--retries", "11"]).unwrap_err();
+        assert!(err.contains("at most 10"), "{err}");
+        assert!(
+            parse(&["--retries", "10"]).is_ok(),
+            "the cap itself is fine"
+        );
+        assert!(parse(&["--retries", "many"]).is_err());
+        assert!(parse(&["--retries", "-1"]).is_err());
+        assert!(parse(&["--retries"]).is_err(), "missing value");
+    }
+
+    #[test]
+    fn rejects_bad_timeout() {
+        let err = parse(&["--timeout-ms", "0"]).unwrap_err();
+        assert!(err.contains("positive"), "{err}");
+        assert!(parse(&["--timeout-ms", "soon"]).is_err());
+        assert!(parse(&["--timeout-ms"]).is_err(), "missing value");
+        assert_eq!(
+            parse(&["--timeout-ms", "250"]).unwrap().timeout_ms,
+            Some(250)
+        );
+    }
+
+    #[test]
+    fn rejects_journal_resume_conflict() {
+        let err = parse(&["--journal", "a.jsonl", "--resume", "b.jsonl"]).unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+        // Order-independent.
+        let err = parse(&["--resume", "b.jsonl", "--journal", "a.jsonl"]).unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+        assert!(parse(&["--journal"]).is_err(), "missing value");
+        assert!(parse(&["--resume"]).is_err(), "missing value");
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! thrifty-barrier list
 //! thrifty-barrier run <app> [--nodes N] [--seed S] [--seeds K] [--jobs J] [--config NAME] [--json]
 //! thrifty-barrier sweep [--nodes N] [--seed S] [--seeds K] [--jobs J] [--json] [--faults SCENARIO]
+//!                       [--retries N] [--timeout-ms MS] [--journal PATH | --resume PATH]
 //! thrifty-barrier cutoff [--nodes N] [--seed S]
 //! thrifty-barrier trace <app> --out FILE [--format perfetto|jsonl] [--config NAME]
 //! ```
@@ -19,11 +20,15 @@
 //! The full table/figure reproduction lives in the bench targets
 //! (`cargo bench`); this binary is the interactive entry point.
 
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Duration;
 use thrifty_barrier::cli::{app_by_name, config_by_name, parse_options, Options};
 use thrifty_barrier::core::{FaultPlan, SystemConfig};
-use thrifty_barrier::machine::harness::{AppMatrix, Cell, Harness};
+use thrifty_barrier::machine::harness::{AppMatrix, Cell, Harness, SupervisionPolicy};
+use thrifty_barrier::machine::journal::{CellKey, StoredOutcome, SweepJournal};
 use thrifty_barrier::machine::run::{run_trace_recording, run_trace_with};
-use thrifty_barrier::machine::{AggregateReport, RunReport};
+use thrifty_barrier::machine::{AggregateReport, CellCoverage, CellOutcome, RunReport};
 use thrifty_barrier::trace::PredictionAccuracyReport;
 use thrifty_barrier::workloads::AppSpec;
 
@@ -113,7 +118,9 @@ fn cmd_run(app_name: &str, opts: &Options) -> Result<(), String> {
             // One pass: the harness caches the Baseline run each oracle
             // configuration needs, and the comparison row below reuses
             // that same cached run instead of simulating Baseline again.
-            let reports = harness.run_cells(&cells);
+            let reports = harness
+                .run_cells(&cells)
+                .map_err(|e| format!("cell failed: {e}"))?;
             if opts.json {
                 if seeds.len() == 1 {
                     println!("{}", serde::json::to_string(&reports[0]));
@@ -134,6 +141,7 @@ fn cmd_run(app_name: &str, opts: &Options) -> Result<(), String> {
         None => {
             let matrix = harness
                 .run_matrix(&[app], &SystemConfig::ALL, opts.nodes, &seeds)
+                .map_err(|e| format!("cell failed: {e}"))?
                 .remove(0);
             if opts.json {
                 println!("{}", serde::json::to_string(&matrix.into_flat_reports()));
@@ -152,19 +160,25 @@ fn cmd_run(app_name: &str, opts: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_sweep(opts: &Options) {
-    match opts.faults.as_deref() {
-        // "none" (a disabled plan) still routes through the fault-cell
-        // plumbing — by construction it must render the identical table.
-        Some(scenario) => cmd_sweep_faults(scenario, opts),
-        None => {
-            let harness = Harness::new(opts.jobs);
-            let seeds = opts.seed_list();
-            let matrix =
-                harness.run_matrix(&AppSpec::splash2(), &SystemConfig::ALL, opts.nodes, &seeds);
-            render_sweep(&matrix, &SystemConfig::ALL, &seeds, opts.json);
-        }
+fn cmd_sweep(opts: &Options) -> Result<(), String> {
+    // Supervision (fault scenarios, retries, deadlines, journaling) all
+    // flows through the outcome-per-cell path; the plain matrix path stays
+    // the fast default and the two must render byte-identical tables.
+    let supervised = opts.faults.is_some()
+        || opts.journal.is_some()
+        || opts.resume.is_some()
+        || opts.retries > 0
+        || opts.timeout_ms.is_some();
+    if supervised {
+        return cmd_sweep_supervised(opts);
     }
+    let harness = Harness::new(opts.jobs);
+    let seeds = opts.seed_list();
+    let matrix = harness
+        .run_matrix(&AppSpec::splash2(), &SystemConfig::ALL, opts.nodes, &seeds)
+        .map_err(|e| format!("cell failed: {e}"))?;
+    render_sweep(&matrix, &SystemConfig::ALL, &seeds, opts.json);
+    Ok(())
 }
 
 /// Renders the sweep result: flat-report JSON or the per-app table.
@@ -231,36 +245,139 @@ fn render_sweep(matrix: &[AppMatrix], configs: &[SystemConfig], seeds: &[u64], j
     }
 }
 
-/// The fault-matrix sweep: every (app × config × seed) cell runs under the
-/// named fault scenario with per-cell panic isolation. A disabled scenario
-/// ("none") renders the ordinary sweep table from the same plumbing — the
-/// zero-cost-when-disabled guarantee is directly observable as byte-equal
-/// output.
-fn cmd_sweep_faults(scenario: &str, opts: &Options) {
+/// The supervised sweep: every (app × config × seed) cell runs as an
+/// isolated [`CellOutcome`], optionally under a named fault scenario, a
+/// retry budget, a wall-clock deadline, and a crash-consistent journal.
+/// A disabled scenario ("none") — or no scenario at all — renders the
+/// ordinary sweep table from the same plumbing, byte-for-byte, so the
+/// zero-cost-when-disabled guarantee is directly observable.
+fn cmd_sweep_supervised(opts: &Options) -> Result<(), String> {
     let harness = Harness::new(opts.jobs);
     let configs = SystemConfig::ALL;
     let seeds = opts.seed_list();
     let apps = AppSpec::splash2();
+    let scenario = opts.faults.as_deref();
     // Flat cell list in run_matrix's layout (app-major, then config, then
     // seed); each cell's fault streams are seeded by its workload seed.
     let mut cells: Vec<Cell> = Vec::with_capacity(apps.len() * configs.len() * seeds.len());
     for app in &apps {
         for &config in &configs {
             for &seed in &seeds {
-                let plan = FaultPlan::by_name(scenario, seed).expect("validated at parse");
-                cells.push(Cell::new(app.clone(), opts.nodes, seed, config).with_faults(plan));
+                let mut cell = Cell::new(app.clone(), opts.nodes, seed, config);
+                if let Some(name) = scenario {
+                    let plan = FaultPlan::by_name(name, seed).expect("validated at parse");
+                    cell = cell.with_faults(plan);
+                }
+                cells.push(cell);
             }
         }
     }
-    let outcomes = harness.run_cells_isolated(&cells);
     let idx = |a: usize, c: usize, s: usize| (a * configs.len() + c) * seeds.len() + s;
 
-    if !FaultPlan::by_name(scenario, 0)
-        .expect("validated at parse")
-        .enabled()
-    {
-        // Disabled plan: reshape into the ordinary matrix and render the
-        // ordinary sweep, byte-for-byte.
+    // The journal's params line pins everything that changes the cell
+    // matrix or its results. `--jobs`, `--retries`, and `--timeout-ms`
+    // are deliberately excluded: a sweep may be resumed at a different
+    // parallelism or patience level and still produce identical output.
+    let params = format!(
+        "sweep nodes={} seed={} seeds={} faults={}",
+        opts.nodes,
+        opts.seed,
+        opts.seeds,
+        scenario.unwrap_or("-")
+    );
+    let mut replayed: HashMap<String, StoredOutcome> = HashMap::new();
+    let journal = match (&opts.journal, &opts.resume) {
+        (Some(path), None) => Some(
+            SweepJournal::create(path, &params).map_err(|e| format!("--journal {path:?}: {e}"))?,
+        ),
+        (None, Some(path)) => {
+            let (journal, records) = SweepJournal::resume(path, &params)
+                .map_err(|e| format!("--resume {path:?}: {e}"))?;
+            replayed = records;
+            Some(journal)
+        }
+        (None, None) => None,
+        (Some(_), Some(_)) => unreachable!("rejected at parse"),
+    };
+
+    // Partition: cells whose outcome the journal already holds are
+    // replayed verbatim; the rest run fresh. The resume note goes to
+    // stderr so resumed stdout stays byte-identical to an uninterrupted
+    // sweep.
+    let keys: Vec<CellKey> = cells.iter().map(CellKey::of).collect();
+    let mut outcomes: Vec<Option<CellOutcome>> = (0..cells.len()).map(|_| None).collect();
+    let mut todo: Vec<usize> = Vec::new();
+    for (i, key) in keys.iter().enumerate() {
+        match replayed
+            .get(&key.canonical())
+            .and_then(|stored| stored.clone().into_outcome())
+        {
+            Some(outcome) => outcomes[i] = Some(outcome),
+            None => todo.push(i),
+        }
+    }
+    if opts.resume.is_some() {
+        eprintln!(
+            "resume: {} of {} cells replayed from journal, {} left to run",
+            cells.len() - todo.len(),
+            cells.len(),
+            todo.len()
+        );
+    }
+
+    let policy = SupervisionPolicy::default()
+        .with_retries(opts.retries)
+        .with_timeout(opts.timeout_ms.map(Duration::from_millis));
+    let todo_cells: Vec<Cell> = todo.iter().map(|&i| cells[i].clone()).collect();
+    let journal = journal.map(Mutex::new);
+    let append_err: Mutex<Option<String>> = Mutex::new(None);
+    let fresh = harness.run_cells_supervised_with(&todo_cells, &policy, |t, outcome| {
+        if let Some(journal) = &journal {
+            let result = journal.lock().unwrap().append(&keys[todo[t]], outcome);
+            if let Err(e) = result {
+                let mut slot = append_err.lock().unwrap();
+                if slot.is_none() {
+                    *slot = Some(format!("journal append failed: {e}"));
+                }
+            }
+        }
+    });
+    if let Some(e) = append_err.into_inner().unwrap() {
+        return Err(e);
+    }
+    for (t, outcome) in fresh.into_iter().enumerate() {
+        outcomes[todo[t]] = Some(outcome);
+    }
+    let outcomes: Vec<CellOutcome> = outcomes
+        .into_iter()
+        .map(|o| o.expect("every cell is either replayed or run"))
+        .collect();
+
+    let faulted = scenario
+        .map(|name| {
+            FaultPlan::by_name(name, 0)
+                .expect("validated at parse")
+                .enabled()
+        })
+        .unwrap_or(false);
+    if !faulted {
+        // Fault-free sweep: a failed cell (a timeout that exhausted its
+        // retries, say) has no row to render, so it aborts the sweep with
+        // a typed message instead of fabricating a table.
+        for (i, outcome) in outcomes.iter().enumerate() {
+            if let Err(err) = &outcome.report {
+                let cell = &cells[i];
+                return Err(format!(
+                    "{}/{} seed {} failed after {} attempt(s): {err}",
+                    cell.app.name,
+                    cell.config.name(),
+                    cell.seed,
+                    outcome.attempts()
+                ));
+            }
+        }
+        // Reshape into the ordinary matrix and render the ordinary sweep,
+        // byte-for-byte.
         let matrix: Vec<AppMatrix> = apps
             .iter()
             .enumerate()
@@ -279,7 +396,7 @@ fn cmd_sweep_faults(scenario: &str, opts: &Options) {
                                 outcomes[idx(a, c, s)]
                                     .report
                                     .clone()
-                                    .expect("fault-free cells cannot fail")
+                                    .expect("failed cells abort above")
                             })
                             .collect()
                     })
@@ -287,8 +404,9 @@ fn cmd_sweep_faults(scenario: &str, opts: &Options) {
             })
             .collect();
         render_sweep(&matrix, &configs, &seeds, opts.json);
-        return;
+        return Ok(());
     }
+    let scenario = scenario.expect("faulted implies a scenario");
 
     // Aggregate per (app, config): metrics normalized to the same-seed
     // *faulted* Baseline, fault tallies merged, panics recorded as failed
@@ -308,9 +426,10 @@ fn cmd_sweep_faults(scenario: &str, opts: &Options) {
             for s in 0..seeds.len() {
                 let outcome = &outcomes[idx(a, c, s)];
                 agg.merge_faults(&outcome.faults);
+                agg.record_retries(outcome.retries.len() as u64);
                 match (&outcome.report, &outcomes[idx(a, base_col, s)].report) {
                     (Ok(report), Ok(baseline)) => agg.push(report, baseline),
-                    (Err(msg), _) => agg.record_failure(msg.clone()),
+                    (Err(err), _) => agg.record_error(err),
                     (Ok(_), Err(_)) => agg.record_failure("baseline cell failed"),
                 }
             }
@@ -319,7 +438,7 @@ fn cmd_sweep_faults(scenario: &str, opts: &Options) {
     }
     if opts.json {
         println!("{}", serde::json::to_string(&aggs));
-        return;
+        return Ok(());
     }
 
     println!(
@@ -359,6 +478,16 @@ fn cmd_sweep_faults(scenario: &str, opts: &Options) {
          {} failed cells",
         totals.0, totals.1, totals.2, totals.3
     );
+    // Coverage accounting only appears when supervision had something to
+    // say — a fully clean sweep prints the historical output unchanged.
+    let mut coverage = CellCoverage::default();
+    for agg in &aggs {
+        coverage.merge(&agg.coverage);
+    }
+    if coverage.retried > 0 || !coverage.is_complete() {
+        println!("coverage: {coverage}");
+    }
+    Ok(())
 }
 
 fn cmd_cutoff(opts: &Options) -> Result<(), String> {
@@ -428,7 +557,11 @@ fn usage() -> ! {
          cutoff                    the Ocean overprediction cut-off story\n  \
          trace <app> --out FILE    record per-episode events to a trace file\n\
          options: --nodes N (power of two <= 64), --seed S, --seeds K, --jobs J,\n\
-         \x20        --json, --format perfetto|jsonl, --ring EVENTS_PER_THREAD, --config C"
+         \x20        --json, --format perfetto|jsonl, --ring EVENTS_PER_THREAD, --config C\n\
+         sweep supervision: --retries N (re-run transient failures, max 10),\n\
+         \x20        --timeout-ms MS (per-cell wall-clock deadline),\n\
+         \x20        --journal PATH (checkpoint completed cells to a JSONL journal),\n\
+         \x20        --resume PATH (replay a journal, run only what is missing)"
     );
     std::process::exit(2);
 }
@@ -448,7 +581,7 @@ fn main() {
                 Err(e) => Err(e),
             }
         }
-        "sweep" => parse_options(&args[1..]).map(|o| cmd_sweep(&o)),
+        "sweep" => parse_options(&args[1..]).and_then(|o| cmd_sweep(&o)),
         "cutoff" => parse_options(&args[1..]).and_then(|o| cmd_cutoff(&o)),
         "trace" => {
             let Some(app) = args.get(1) else { usage() };

@@ -30,6 +30,20 @@ fn bad_options_exit_nonzero_with_message() {
             &["run", "NoSuchApp", "--nodes", "8"][..],
             "unknown application",
         ),
+        (&["sweep", "--retries", "eleven"][..], "bad retry count"),
+        (&["sweep", "--retries", "11"][..], "at most 10"),
+        (&["sweep", "--timeout-ms", "soon"][..], "bad timeout"),
+        (&["sweep", "--timeout-ms", "0"][..], "positive"),
+        (&["sweep", "--retries"][..], "--retries needs a value"),
+        (&["sweep", "--journal"][..], "--journal needs a value"),
+        (
+            &["sweep", "--journal", "a.jsonl", "--resume", "b.jsonl"][..],
+            "mutually exclusive",
+        ),
+        (
+            &["sweep", "--resume", "b.jsonl", "--journal", "a.jsonl"][..],
+            "mutually exclusive",
+        ),
     ] {
         let out = bin(args);
         assert!(!out.status.success(), "{args:?} must fail");
@@ -73,6 +87,47 @@ fn sweep_output_is_identical_at_every_jobs_level() {
     let reports: Vec<thrifty_barrier::machine::RunReport> =
         serde::json::from_str(&String::from_utf8_lossy(&serial_json.stdout)).expect("valid JSON");
     assert_eq!(reports.len(), 50);
+}
+
+/// Journal errors surface at runtime (the path is only opened once the
+/// sweep starts), with both the flag and the cause in the message.
+#[test]
+fn resume_of_missing_or_mismatched_journal_fails_cleanly() {
+    let dir = std::env::temp_dir().join(format!("tb-cli-journal-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let missing = dir.join("no-such.jsonl");
+    let out = bin(&[
+        "sweep",
+        "--nodes",
+        "8",
+        "--resume",
+        missing.to_str().unwrap(),
+    ]);
+    assert!(!out.status.success(), "missing journal must fail");
+    assert!(
+        stderr(&out).contains("--resume"),
+        "stderr names the flag: {:?}",
+        stderr(&out)
+    );
+
+    // A journal recorded for one sweep shape refuses to resume another.
+    let journal = dir.join("n8.jsonl");
+    let journal = journal.to_str().unwrap();
+    let create = bin(&["sweep", "--nodes", "8", "--journal", journal]);
+    assert!(create.status.success(), "{}", stderr(&create));
+    let out = bin(&["sweep", "--nodes", "16", "--resume", journal]);
+    assert!(!out.status.success(), "params mismatch must fail");
+    assert!(
+        stderr(&out).contains("params mismatch"),
+        "stderr quotes both sides: {:?}",
+        stderr(&out)
+    );
+    assert!(
+        stderr(&out).contains("nodes=8") && stderr(&out).contains("nodes=16"),
+        "stderr quotes both sides: {:?}",
+        stderr(&out)
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]
